@@ -1,0 +1,37 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each bench regenerates one paper artifact at the BENCH scale, prints the
+series (the textual counterpart of the paper's plot), and asserts the
+qualitative shape the paper reports.  Timings come from pytest-benchmark
+(single round — these are macro experiments, not micro benchmarks).
+"""
+
+import pytest
+
+from repro.experiments import BENCH, run_experiment
+
+
+def run_and_render(benchmark, experiment_id):
+    """Run an experiment under pytest-benchmark and print its report."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, BENCH), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result
+
+
+def series(result, panel, policy, metric):
+    """Extract a metric series from a panel sweep's raw data."""
+    return result.data[panel][policy][metric]
+
+
+def assert_non_decreasing(values, tol=1e-9):
+    for a, b in zip(values, values[1:]):
+        assert b >= a - tol, f"series decreased: {values}"
+
+
+def assert_dominates(upper, lower, tol=1e-9):
+    """Every point of ``upper`` is >= the corresponding point of ``lower``."""
+    for u, low in zip(upper, lower):
+        assert u >= low - tol, f"{upper} does not dominate {lower}"

@@ -1,0 +1,68 @@
+"""Ablation A6: the Hybrid policy vs the paper's three.
+
+§V-C argues MostActive is "a good compromise between availability-on-
+demand and update propagation delay" despite needing no online-time
+knowledge.  The Hybrid extension adds a single bit of schedule knowledge
+(does the candidate add coverage?) to MostActive's ranking; this bench
+measures whether that bit buys back most of MaxAv's availability lead
+while keeping MostActive's activity affinity.
+"""
+
+from repro.core import CONREP, make_policy, sweep_replication_degree
+from repro.experiments import BENCH, facebook_dataset, format_table
+from repro.experiments.figures import _cohort
+from repro.onlinetime import SporadicModel
+
+POLICIES = ("maxav", "hybrid", "mostactive", "random")
+DEGREES = tuple(range(0, 11, 2))
+
+
+def _run():
+    dataset = facebook_dataset(BENCH)
+    users = _cohort(dataset, BENCH)
+    return sweep_replication_degree(
+        dataset,
+        SporadicModel(),
+        [make_policy(n) for n in POLICIES],
+        mode=CONREP,
+        degrees=list(DEGREES),
+        users=users,
+        seed=BENCH.seed,
+        repeats=BENCH.repeats,
+    )
+
+
+def test_a6_hybrid_policy(benchmark):
+    sweep = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    for metric, label in (
+        ("availability", "availability"),
+        ("aod_activity", "availability-on-demand-activity"),
+        ("delay_hours_actual", "propagation delay (h)"),
+        ("mean_replicas_used", "replicas actually used"),
+    ):
+        rows = [
+            (k,)
+            + tuple(round(getattr(sweep[p][i], metric), 3) for p in POLICIES)
+            for i, k in enumerate(DEGREES)
+        ]
+        print(f"{label} (Sporadic, ConRep, degree-10 cohort)")
+        print(format_table(("degree",) + POLICIES, rows))
+        print()
+    # The hybrid sits between MaxAv and MostActive on availability ...
+    for i in range(1, len(DEGREES)):
+        assert (
+            sweep["hybrid"][i].availability
+            >= sweep["mostactive"][i].availability - 0.02
+        )
+        assert (
+            sweep["hybrid"][i].availability
+            <= sweep["maxav"][i].availability + 0.02
+        )
+    # ... and inherits MostActive's activity affinity (aod-activity within
+    # a small margin of MostActive's at low degrees).
+    for i in (1, 2):
+        assert (
+            sweep["hybrid"][i].aod_activity
+            >= sweep["mostactive"][i].aod_activity - 0.05
+        )

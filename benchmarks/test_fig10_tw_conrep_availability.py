@@ -1,0 +1,15 @@
+"""Bench F10: Twitter-ConRep availability (same trends as Facebook)."""
+
+from conftest import assert_dominates, assert_non_decreasing, run_and_render, series
+
+PANELS = ("Sporadic", "RandomLength", "FixedLength-2h", "FixedLength-8h")
+
+
+def test_fig10_tw_conrep_availability(benchmark):
+    result = run_and_render(benchmark, "fig10")
+    for panel in PANELS:
+        maxav = series(result, panel, "maxav", "availability")
+        random_ = series(result, panel, "random", "availability")
+        assert_non_decreasing(maxav)
+        assert_dominates(maxav, random_, tol=0.02)
+        assert abs(maxav[-1] - maxav[-2]) < 0.03  # saturation

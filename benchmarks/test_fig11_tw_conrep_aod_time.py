@@ -1,0 +1,25 @@
+"""Bench F11: Twitter-ConRep availability-on-demand-time."""
+
+from conftest import assert_non_decreasing, run_and_render, series
+
+PANELS = ("Sporadic", "RandomLength", "FixedLength-2h", "FixedLength-8h")
+
+
+def test_fig11_tw_conrep_aod_time(benchmark):
+    result = run_and_render(benchmark, "fig11")
+    for panel in PANELS:
+        for policy in ("maxav", "mostactive", "random"):
+            assert_non_decreasing(
+                series(result, panel, policy, "aod_time"), tol=0.01
+            )
+    # The disconnection effect the paper calls out for Fig. 11d: followers
+    # never time-connected to any replica keep on-demand-time saturating
+    # below 1 even under MaxAv with every candidate allowed.  In the
+    # synthetic substitute the effect surfaces in the short/heterogeneous
+    # window panels (the real trace showed it at 8 h): at least one
+    # continuous-model panel must saturate visibly below 1.
+    saturating = [
+        series(result, panel, "maxav", "aod_time")[-1]
+        for panel in ("RandomLength", "FixedLength-2h", "FixedLength-8h")
+    ]
+    assert min(saturating) < 0.999

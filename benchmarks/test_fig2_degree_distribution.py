@@ -1,0 +1,14 @@
+"""Bench F2: user degree distribution (heavy tail)."""
+
+from conftest import run_and_render
+
+
+def test_fig2_degree_distribution(benchmark):
+    result = run_and_render(benchmark, "fig2")
+    for key in ("facebook", "twitter"):
+        hist = result.data[key]
+        # Heavy tail: low degrees dominate, but hubs far above the mean exist.
+        assert hist.get(1, 0) + hist.get(2, 0) > hist.get(10, 0)
+        total_users = sum(hist.values())
+        mean_degree = sum(d * n for d, n in hist.items()) / total_users
+        assert max(hist) > 3 * mean_degree

@@ -1,0 +1,23 @@
+"""Bench F3: Facebook-ConRep availability vs replication degree."""
+
+from conftest import assert_dominates, assert_non_decreasing, run_and_render, series
+
+PANELS = ("Sporadic", "RandomLength", "FixedLength-2h", "FixedLength-8h")
+
+
+def test_fig3_fb_conrep_availability(benchmark):
+    result = run_and_render(benchmark, "fig3")
+    for panel in PANELS:
+        maxav = series(result, panel, "maxav", "availability")
+        random_ = series(result, panel, "random", "availability")
+        # Availability rises with the allowed degree and MaxAv dominates
+        # the naive baseline at every point (paper Fig. 3).
+        assert_non_decreasing(maxav)
+        assert_non_decreasing(random_)
+        assert_dominates(maxav, random_, tol=0.02)
+        # ... and saturates: the last two MaxAv points are nearly equal.
+        assert abs(maxav[-1] - maxav[-2]) < 0.02
+    # FixedLength-2h achievable availability is low (paper: "very low").
+    fl2 = series(result, "FixedLength-2h", "maxav", "availability")
+    fl8 = series(result, "FixedLength-8h", "maxav", "availability")
+    assert fl2[-1] < fl8[-1]

@@ -1,0 +1,22 @@
+"""Bench F4: Facebook-UnconRep availability (FixedLength 2h/8h)."""
+
+from repro.core import CONREP
+from repro.experiments import BENCH, run_experiment
+
+from conftest import assert_dominates, assert_non_decreasing, run_and_render, series
+
+
+def test_fig4_fb_unconrep_availability(benchmark):
+    result = run_and_render(benchmark, "fig4")
+    for panel in ("FixedLength-2h", "FixedLength-8h"):
+        for policy in ("maxav", "mostactive", "random"):
+            assert_non_decreasing(series(result, panel, policy, "availability"))
+    # UnconRep achieves at least the ConRep availability (paper §V-A1):
+    # replica choice is unconstrained by time-connectivity.
+    conrep = run_experiment("fig3", BENCH)
+    for panel in ("FixedLength-2h", "FixedLength-8h"):
+        assert_dominates(
+            series(result, panel, "maxav", "availability"),
+            series(conrep, panel, "maxav", "availability"),
+            tol=0.02,
+        )

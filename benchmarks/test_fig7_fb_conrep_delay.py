@@ -1,0 +1,23 @@
+"""Bench F7: Facebook-ConRep update propagation delay."""
+
+from conftest import run_and_render, series
+
+PANELS = ("Sporadic", "RandomLength", "FixedLength-2h", "FixedLength-8h")
+
+
+def test_fig7_fb_conrep_delay(benchmark):
+    result = run_and_render(benchmark, "fig7")
+    for panel in PANELS:
+        for policy in ("maxav", "mostactive", "random"):
+            delay = series(result, panel, policy, "delay_hours_actual")
+            # Degree 0: owner only, no propagation.
+            assert delay[0] == 0.0
+            # Non-intuitive headline: delay INCREASES with replication
+            # degree (compare the single-replica and full sweeps).
+            assert delay[-1] > delay[1] - 1e-9
+            assert max(delay) < 72.0  # bounded by two day-hops at degree<=10
+    # MaxAv picks low-overlap replicas and pays the highest delay.
+    for panel in PANELS:
+        maxav = series(result, panel, "maxav", "delay_hours_actual")
+        random_ = series(result, panel, "random", "delay_hours_actual")
+        assert max(maxav) >= max(random_) - 6.0

@@ -1,0 +1,21 @@
+"""Bench F8: effect of the Sporadic session length (log sweep)."""
+
+from conftest import assert_non_decreasing, run_and_render
+
+
+def test_fig8_session_length(benchmark):
+    result = run_and_render(benchmark, "fig8")
+    sweep = result.data["sweep"]
+    for policy in ("maxav", "mostactive", "random"):
+        avail = sweep[policy]["availability"]
+        aod_time = sweep[policy]["aod_time"]
+        delay = sweep[policy]["delay_hours_actual"]
+        # Longer sessions monotonically raise availability and on-demand
+        # coverage (paper Fig. 8a-b) ...
+        assert_non_decreasing(avail, tol=0.02)
+        assert_non_decreasing(aod_time, tol=0.02)
+        # ... and push availability to ~1 above ~1e4 s sessions.
+        assert avail[-1] > 0.95
+        # ... while the propagation delay falls sharply.
+        assert delay[-1] < delay[0]
+        assert delay[-1] < 5.0

@@ -1,0 +1,23 @@
+"""Bench F9: effect of the user degree (1..10) under Sporadic."""
+
+from conftest import run_and_render
+
+
+def test_fig9_user_degree(benchmark):
+    result = run_and_render(benchmark, "fig9")
+    sweep = result.data["sweep"]
+    for policy in ("maxav", "mostactive", "random"):
+        points = [p for p in sweep[policy] if p is not None]
+        assert len(points) >= 5
+        avail = [p["availability"] for p in points]
+        # Availability grows with user degree (more friends to cover time).
+        assert avail[-1] > avail[0]
+    # All friends are allowed as replicas, so achieved availability is
+    # (nearly) policy-independent (paper Fig. 9a) ...
+    for a, b in zip(sweep["maxav"], sweep["random"]):
+        if a is not None and b is not None:
+            assert abs(a["availability"] - b["availability"]) < 0.05
+    # ... but MaxAv stops early and uses fewer replicas (paper Fig. 9b).
+    last_maxav = [p for p in sweep["maxav"] if p is not None][-1]
+    last_random = [p for p in sweep["random"] if p is not None][-1]
+    assert last_maxav["mean_replicas_used"] <= last_random["mean_replicas_used"] + 1e-9

@@ -1,0 +1,15 @@
+"""Bench T1: §IV-A filtered dataset statistics."""
+
+from conftest import run_and_render
+
+
+def test_table1_dataset_stats(benchmark):
+    result = run_and_render(benchmark, "table1")
+    fb = result.data["facebook"]
+    tw = result.data["twitter"]
+    # Every surviving user passed the >=10-activity filter, so the per-user
+    # average must clear it; trace spans and sizes must be positive.
+    assert fb.average_activities_per_user >= 10
+    assert tw.average_activities_per_user >= 10
+    assert fb.num_users > 0 and tw.num_users > 0
+    assert fb.average_degree > 1 and tw.average_degree > 1

@@ -1,0 +1,12 @@
+"""Bench X1: discrete-event simulator vs closed-form metrics."""
+
+from conftest import run_and_render
+
+
+def test_x1_des_validation(benchmark):
+    result = run_and_render(benchmark, "x1")
+    # Sampled availability tracks the analytic value closely ...
+    assert result.data["max_avail_delta"] < 0.05
+    # ... and the measured worst delay respects the analytic worst case.
+    assert result.data["worst_des_delay"] <= result.data["analytic_bound"] + 1e-6
+    assert result.data["incomplete_updates"] == 0

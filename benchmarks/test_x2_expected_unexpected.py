@@ -1,0 +1,21 @@
+"""Bench X2: expected vs unexpected activity split (§IV-B)."""
+
+from conftest import run_and_render
+
+PANELS = ("Sporadic", "RandomLength", "FixedLength-2h", "FixedLength-8h")
+
+
+def test_x2_expected_unexpected(benchmark):
+    result = run_and_render(benchmark, "x2")
+    # Sporadic places a session around every created activity, so by
+    # construction the creator is online at his own activity instants.
+    assert result.data["Sporadic"]["expected_fraction"] > 0.999
+    for panel in PANELS:
+        d = result.data[panel]
+        assert 0 <= d["expected_fraction"] <= 1
+        # Overall service is a mixture of the two conditional rates.
+        lo = min(d["served_expected"], d["served_unexpected"])
+        hi = max(d["served_expected"], d["served_unexpected"])
+        assert lo - 1e-9 <= d["aod_activity"] <= hi + 1e-9
+    # Continuous windows leave a real unexpected remainder.
+    assert result.data["FixedLength-2h"]["expected_fraction"] < 0.9

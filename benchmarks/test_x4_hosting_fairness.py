@@ -1,0 +1,28 @@
+"""Bench X4: hosting-load fairness across the network (§II-B1)."""
+
+from conftest import run_and_render
+
+
+def test_x4_hosting_fairness(benchmark):
+    result = run_and_render(benchmark, "x4")
+    maxav = result.data["maxav"]
+    mostactive = result.data["mostactive"]
+    random_ = result.data["random"]
+    # Every policy places the same per-user budget, so total load is
+    # comparable (ConRep may trim a few picks).
+    assert 0 < maxav.total_load <= random_.total_load * 1.1
+    # Coverage-greedy selection concentrates load on long-online hubs:
+    # MaxAv is the LEAST fair of the three.
+    assert maxav.jain <= random_.jain + 1e-9
+    assert maxav.jain <= mostactive.jain + 1e-9
+    assert maxav.top_decile_share >= random_.top_decile_share - 1e-9
+    # MostActive spreads best: interaction partners are personal, whereas
+    # both coverage hubs (MaxAv) and degree hubs (Random, which samples
+    # each user's friend list and so hits high-degree nodes often) are
+    # shared across many users.
+    assert mostactive.jain >= random_.jain - 1e-9
+    # Hub overload is real under every policy in a heavy-tailed graph.
+    for report in (maxav, mostactive, random_):
+        assert report.max_load > 3 * report.mean_load
+        assert 0 < report.jain <= 1
+        assert 0 <= report.gini < 1

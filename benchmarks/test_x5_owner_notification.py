@@ -1,0 +1,16 @@
+"""Bench X5: owner notification delay (§II requirement)."""
+
+from conftest import run_and_render
+
+
+def test_x5_owner_notification(benchmark):
+    result = run_and_render(benchmark, "x5")
+    for policy in ("maxav", "mostactive", "random"):
+        d = result.data[policy]
+        assert d["total"] > 0
+        # Nearly everything the replicas accepted reaches the owner within
+        # the replay horizon (ConRep groups are owner-connected).
+        assert d["delivered"] / d["total"] > 0.9
+        # Day-scale, not week-scale.
+        assert d["mean_delay_hours"] < 24.0
+        assert d["max_delay_hours"] < 72.0

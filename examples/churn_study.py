@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Robustness study: what if users don't keep to their schedules?
+
+Placement policies consume *predicted* online times (the paper models
+them from activity history, §IV-C).  Predictions miss: users skip
+sessions and shift their hours.  This study places replicas against the
+nominal schedules, then evaluates every metric against perturbed
+realities — increasing fractions of missed sessions plus half-hour
+start-time jitter — and reports how each policy degrades.
+
+Run:  python examples/churn_study.py
+"""
+
+from repro import SporadicModel, make_policy, select_cohort, synthetic_facebook
+from repro.experiments import format_table
+from repro.robustness import churn_sweep
+
+MISS_PROBS = (0.0, 0.1, 0.2, 0.3, 0.5)
+POLICIES = ("maxav", "mostactive", "random")
+
+
+def main() -> None:
+    dataset = synthetic_facebook(1200, seed=17)
+    users = select_cohort(dataset, 10, max_users=20)
+    sweep = churn_sweep(
+        dataset,
+        SporadicModel(),
+        [make_policy(n) for n in POLICIES],
+        k=3,
+        users=users,
+        miss_probs=MISS_PROBS,
+        jitter_seconds=1800,
+        seed=0,
+        repeats=3,
+    )
+
+    for metric, label in (
+        ("availability", "availability"),
+        ("aod_time", "availability-on-demand-time"),
+    ):
+        rows = [
+            (miss,)
+            + tuple(
+                round(getattr(sweep[name][i], metric), 3) for name in POLICIES
+            )
+            for i, miss in enumerate(MISS_PROBS)
+        ]
+        print(f"{label} under churn (k=3, Sporadic + 30-min jitter)")
+        print(format_table(("miss prob",) + POLICIES, rows))
+        print()
+
+    base = sweep["maxav"][0].availability
+    worst = sweep["maxav"][-1].availability
+    print(
+        f"MaxAv retains {worst / base:.0%} of its nominal availability at "
+        "50% missed sessions — placements are not knife-edge, because set-"
+        "cover replicas overlap redundantly."
+    )
+
+
+if __name__ == "__main__":
+    main()

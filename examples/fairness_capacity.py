@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Hosting fairness and the capacity knob (paper §II-B1).
+
+The paper requires replica selection to "balance the storage and
+communication overhead ... uniformly", but its policies optimise per-user
+metrics and, measured network-wide, overload hub nodes.  This study
+measures that imbalance for each policy and then shows the operational
+fix: a per-host capacity, swept to expose the availability/fairness
+frontier.
+
+Run:  python examples/fairness_capacity.py
+"""
+
+from repro import (
+    CONREP,
+    SporadicModel,
+    compute_schedules,
+    evaluate_user,
+    make_policy,
+    select_cohort,
+    synthetic_facebook,
+)
+from repro.core import place_network
+from repro.core.fairness import fairness_report
+from repro.experiments import format_table
+
+
+def main() -> None:
+    dataset = synthetic_facebook(1200, seed=23)
+    schedules = compute_schedules(dataset, SporadicModel(), seed=0)
+    everyone = sorted(dataset.graph.users())
+    cohort = select_cohort(dataset, 10, max_users=20)
+
+    # 1. How fair is each policy, unconstrained?
+    rows = []
+    for name in ("maxav", "hybrid", "mostactive", "random"):
+        placements = place_network(
+            dataset, schedules, make_policy(name), k=3, mode=CONREP, seed=0
+        )
+        report = fairness_report(placements, all_hosts=everyone)
+        rows.append(
+            (
+                name,
+                round(report.jain, 3),
+                round(report.gini, 3),
+                report.max_load,
+                round(report.top_decile_share, 2),
+            )
+        )
+    print("unconstrained hosting-load fairness (k=3, whole network)")
+    print(
+        format_table(
+            ("policy", "jain", "gini", "max load", "top-10% share"), rows
+        )
+    )
+
+    # 2. The capacity knob on MaxAv: fairness bought, availability paid.
+    rows = []
+    for capacity in (None, 20, 10, 5, 2):
+        placements = place_network(
+            dataset,
+            schedules,
+            make_policy("maxav"),
+            k=3,
+            capacity=capacity,
+            mode=CONREP,
+            seed=0,
+        )
+        report = fairness_report(placements, all_hosts=everyone)
+        avail = sum(
+            evaluate_user(dataset, schedules, u, placements[u]).availability
+            for u in cohort
+        ) / len(cohort)
+        rows.append(
+            (
+                "inf" if capacity is None else capacity,
+                round(report.jain, 3),
+                report.max_load,
+                round(avail, 3),
+            )
+        )
+    print("\nper-host capacity sweep (MaxAv)")
+    print(
+        format_table(
+            ("capacity", "jain", "max load", "cohort availability"), rows
+        )
+    )
+    print(
+        "\nReading: a moderate capacity buys a large fairness gain for a "
+        "small availability cost — §II-B1's balance is tunable."
+    )
+
+
+if __name__ == "__main__":
+    main()

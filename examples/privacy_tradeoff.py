@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The privacy/availability trade-off (paper §II-B2, §V-C).
+
+Replication degree is a proxy for privacy exposure: every extra replica is
+another node that could leak the profile.  The paper argues the sweet spot
+for a privacy-conscious user is the *smallest* replication degree with
+*high availability-on-demand* (friends can reach the profile when they
+want it) while plain availability — reachability by anyone, including
+attackers probing around the clock — stays low.
+
+This example finds, per policy, the minimum replication degree reaching a
+95% availability-on-demand-time target, and reports the "exposure" (plain
+availability) paid for it.
+
+Run:  python examples/privacy_tradeoff.py
+"""
+
+from repro import (
+    CONREP,
+    SporadicModel,
+    make_policy,
+    select_cohort,
+    sweep_replication_degree,
+    synthetic_facebook,
+)
+from repro.experiments import format_table
+
+TARGET_AOD_TIME = 0.95
+
+
+def main() -> None:
+    dataset = synthetic_facebook(1500, seed=13)
+    users = select_cohort(dataset, 10, max_users=25)
+    policies = [make_policy(n) for n in ("maxav", "mostactive", "random")]
+    degrees = list(range(11))
+    sweep = sweep_replication_degree(
+        dataset,
+        SporadicModel(),
+        policies,
+        mode=CONREP,
+        degrees=degrees,
+        users=users,
+        seed=0,
+        repeats=3,
+    )
+
+    rows = []
+    for policy in policies:
+        series = sweep[policy.name]
+        chosen = None
+        for k, agg in zip(degrees, series):
+            if agg.aod_time >= TARGET_AOD_TIME:
+                chosen = (k, agg)
+                break
+        if chosen is None:
+            k, agg = degrees[-1], series[-1]
+            note = "target unreachable"
+        else:
+            k, agg = chosen
+            note = ""
+        rows.append(
+            (
+                policy.name,
+                k,
+                round(agg.mean_replicas_used, 2),
+                round(agg.aod_time, 3),
+                round(agg.availability, 3),
+                round(agg.delay_hours_actual, 1),
+                note,
+            )
+        )
+
+    print(
+        f"minimum replication degree reaching aod-time >= {TARGET_AOD_TIME} "
+        f"(degree-10 cohort, Sporadic 20-min sessions, ConRep)\n"
+    )
+    print(
+        format_table(
+            (
+                "policy",
+                "min degree",
+                "replicas used",
+                "aod-time",
+                "exposure (avail.)",
+                "delay (h)",
+                "note",
+            ),
+            rows,
+        )
+    )
+    print(
+        "\nReading: lower 'min degree' and 'exposure' are better for "
+        "privacy; MaxAv reaches the target with the fewest replicas, "
+        "matching the paper's feasibility argument (§V-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro: an empirical study platform for decentralized online social networks.
+
+A from-scratch Python reproduction of *"Towards the Realization of
+Decentralized Online Social Networks: An Empirical Study"* (Narendula,
+Papaioannou, Aberer — ICDCS 2012): friend-to-friend profile replication,
+the MaxAv / MostActive / Random placement policies under connected
+(ConRep) and unconnected (UnconRep) regimes, the Sporadic / FixedLength /
+RandomLength online-time models, the paper's efficiency metrics, matched
+synthetic Facebook/Twitter trace substitutes (plus loaders for the real
+files), a discrete-event simulator of the resulting OSN, and one runnable
+experiment per table/figure of the evaluation.
+
+See ``examples/quickstart.py`` and the CLI (``python -m repro list``).
+"""
+
+from repro.core import (
+    CONREP,
+    UNCONREP,
+    AggregateMetrics,
+    MaxAvPlacement,
+    MostActivePlacement,
+    PlacementContext,
+    PlacementPolicy,
+    RandomPlacement,
+    ReplicaGroup,
+    UserMetrics,
+    evaluate_user,
+    make_policy,
+    select_cohort,
+    sweep_replication_degree,
+)
+from repro.datasets import (
+    Activity,
+    ActivityTrace,
+    Dataset,
+    synthetic_facebook,
+    synthetic_twitter,
+)
+from repro.experiments import run_experiment
+from repro.onlinetime import (
+    FixedLengthModel,
+    RandomLengthModel,
+    SporadicModel,
+    compute_schedules,
+    make_model,
+)
+from repro.simulator import DecentralizedOSN, ReplayConfig
+from repro.timeline import DAY_SECONDS, IntervalSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Activity",
+    "ActivityTrace",
+    "AggregateMetrics",
+    "CONREP",
+    "DAY_SECONDS",
+    "Dataset",
+    "DecentralizedOSN",
+    "FixedLengthModel",
+    "IntervalSet",
+    "MaxAvPlacement",
+    "MostActivePlacement",
+    "PlacementContext",
+    "PlacementPolicy",
+    "RandomLengthModel",
+    "RandomPlacement",
+    "ReplayConfig",
+    "ReplicaGroup",
+    "SporadicModel",
+    "UNCONREP",
+    "UserMetrics",
+    "compute_schedules",
+    "evaluate_user",
+    "make_model",
+    "make_policy",
+    "run_experiment",
+    "select_cohort",
+    "sweep_replication_degree",
+    "synthetic_facebook",
+    "synthetic_twitter",
+    "__version__",
+]

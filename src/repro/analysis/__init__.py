@@ -1,0 +1,22 @@
+"""Analysis helpers: Bézier smoothing, summary stats, ASCII charts."""
+
+from repro.analysis.ascii_chart import ascii_chart, chart_from_table
+from repro.analysis.smoothing import bezier_curve, de_casteljau, smooth_series
+from repro.analysis.statistics import (
+    Summary,
+    bootstrap_ci,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "Summary",
+    "ascii_chart",
+    "bezier_curve",
+    "bootstrap_ci",
+    "chart_from_table",
+    "de_casteljau",
+    "percentile",
+    "smooth_series",
+    "summarize",
+]

@@ -1,0 +1,120 @@
+"""Terminal line charts for experiment series.
+
+The benches print numeric tables; this renderer additionally draws the
+series as an ASCII chart so the paper-figure shapes (saturation,
+crossovers, the session-length knee) are visible at a glance in a
+terminal or CI log — no plotting stack required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Distinct glyphs assigned to series in insertion order.
+SERIES_GLYPHS = "*+o#x%@&"
+
+
+def _scale(value, lo, hi, size):
+    if hi == lo:
+        return 0
+    pos = (value - lo) / (hi - lo) * (size - 1)
+    return min(size - 1, max(0, int(round(pos))))
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more ``name -> [(x, y), ...]`` series.
+
+    Non-finite y values are skipped.  Overlapping points of different
+    series show the glyph of the later-drawn (later-inserted) series.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    points = [
+        (x, y)
+        for pts in series.values()
+        for x, y in pts
+        if math.isfinite(y) and math.isfinite(x)
+    ]
+    if not points:
+        raise ValueError("no finite points to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo == y_hi:  # flat data still deserves a visible line
+        y_lo -= 0.5
+        y_hi += 0.5
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for (name, pts), glyph in zip(series.items(), SERIES_GLYPHS):
+        for x, y in pts:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:.3g}"
+    y_lo_label = f"{y_lo:.3g}"
+    margin = max(len(y_hi_label), len(y_lo_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_label.rjust(margin)
+        elif i == height - 1:
+            prefix = y_lo_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 6) + f"{x_hi:.3g}"
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label)
+    legend = "   ".join(
+        f"{glyph} {name}"
+        for (name, _), glyph in zip(series.items(), SERIES_GLYPHS)
+    )
+    lines.append(f"{y_label + '  ' if y_label else ''}{legend}")
+    return "\n".join(lines)
+
+
+def chart_from_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Plot a numeric table whose first column is x and the remaining
+    columns are series named by their headers (None cells skipped)."""
+    if len(headers) < 2:
+        raise ValueError("need an x column and at least one series")
+    series: Dict[str, List[Tuple[float, float]]] = {
+        name: [] for name in headers[1:]
+    }
+    for row in rows:
+        x = row[0]
+        for name, value in zip(headers[1:], row[1:]):
+            if value is None:
+                continue
+            series[name].append((float(x), float(value)))
+    return ascii_chart(
+        {k: v for k, v in series.items() if v},
+        width=width,
+        height=height,
+        title=title,
+        x_label=str(headers[0]),
+    )

@@ -1,0 +1,96 @@
+"""Summary statistics and bootstrap confidence intervals.
+
+The paper reports plain cohort means ("averaged results for the users
+with a particular degree", repeated 5× for randomised runs).  These
+helpers add the uncertainty quantification a careful reproduction wants:
+distribution summaries for per-user metric spreads and bootstrap CIs for
+the cohort means.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p10: float
+    median: float
+    p90: float
+    maximum: float
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100) * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a sample (population std)."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    var = sum((v - mean) ** 2 for v in ordered) / n
+    return Summary(
+        n=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=ordered[0],
+        p10=percentile(ordered, 10),
+        median=percentile(ordered, 50),
+        p90=percentile(ordered, 90),
+        maximum=ordered[-1],
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    stat: Callable[[Sequence[float]], float] = None,
+    n_boot: int = 2000,
+    confidence: float = 0.95,
+    rng: random.Random = None,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``stat`` (default:
+    the mean) of the sample."""
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if stat is None:
+        stat = lambda v: sum(v) / len(v)  # noqa: E731
+    rng = rng or random.Random(0)
+    n = len(values)
+    replicates: List[float] = []
+    for _ in range(n_boot):
+        resample = [values[rng.randrange(n)] for _ in range(n)]
+        replicates.append(stat(resample))
+    replicates.sort()
+    alpha = (1 - confidence) / 2
+    return (
+        percentile(replicates, alpha * 100),
+        percentile(replicates, (1 - alpha) * 100),
+    )

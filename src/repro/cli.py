@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-osn list
+    repro-osn run fig3 --scale bench
+    repro-osn run all --scale full --output results.txt
+    repro-osn stats --dataset facebook --users 2000 --seed 7
+    repro-osn generate --kind twitter --users 1000 --graph g.txt --trace t.txt
+    repro-osn simulate --users 800 --degree 10 --k 3 --days 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    CONREP,
+    make_policy,
+    placement_sequences,
+    select_cohort,
+)
+from repro.datasets import (
+    dataset_stats,
+    synthetic_facebook,
+    synthetic_twitter,
+)
+from repro.experiments import (
+    experiment_ids,
+    format_table,
+    get_scale,
+    run_experiment,
+)
+from repro.graph import write_graph
+from repro.onlinetime import make_model, compute_schedules
+from repro.simulator import DecentralizedOSN, ReplayConfig
+
+
+def _build_dataset(kind: str, users: int, seed: int):
+    if kind == "facebook":
+        return synthetic_facebook(users, seed=seed)
+    if kind == "twitter":
+        return synthetic_twitter(users, seed=seed)
+    raise ValueError(f"unknown dataset kind {kind!r}")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Available experiments (paper artifact -> id):")
+    for eid in experiment_ids():
+        print(f"  {eid}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        for eid in ids:
+            result = run_experiment(eid, scale)
+            print(result.render(), file=out)
+            if args.plot:
+                from repro.analysis import chart_from_table
+
+                for table in result.tables:
+                    try:
+                        chart = chart_from_table(
+                            table.headers, table.rows, title=table.caption
+                        )
+                    except (TypeError, ValueError):
+                        continue  # non-numeric table (e.g. dataset names)
+                    print(file=out)
+                    print(chart, file=out)
+            print(file=out)
+    finally:
+        if args.output:
+            out.close()
+            print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.dataset, args.users, args.seed)
+    stats = dataset_stats(dataset)
+    rows = [stats.as_row()]
+    print(
+        format_table(
+            (
+                "name",
+                "kind",
+                "users",
+                "edges",
+                "avg degree",
+                "activities",
+                "acts/user",
+                "span (days)",
+            ),
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.kind, args.users, args.seed)
+    write_graph(dataset.graph, args.graph, header=dataset.notes)
+    with open(args.trace, "w", encoding="utf-8") as handle:
+        handle.write(f"# {dataset.name}: creator receiver timestamp\n")
+        for act in dataset.trace:
+            handle.write(f"{act.creator} {act.receiver} {act.timestamp:g}\n")
+    print(
+        f"wrote {dataset.graph.num_users} users to {args.graph} and "
+        f"{len(dataset.trace)} activities to {args.trace}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.dataset, args.users, args.seed)
+    model = make_model(args.model)
+    schedules = compute_schedules(dataset, model, seed=args.seed)
+    users = select_cohort(dataset, args.degree, max_users=args.cohort)
+    if not users:
+        print(f"no users of degree {args.degree}; try --degree", file=sys.stderr)
+        return 1
+    sequences = placement_sequences(
+        dataset,
+        schedules,
+        users,
+        make_policy(args.policy),
+        mode=CONREP,
+        max_degree=args.k,
+        seed=args.seed,
+    )
+    osn = DecentralizedOSN(
+        dataset,
+        schedules,
+        sequences,
+        config=ReplayConfig(days=args.days),
+        tracked_profiles=users,
+    )
+    stats = osn.run()
+    print(
+        format_table(
+            (
+                "cohort users",
+                "events",
+                "write service",
+                "read service",
+                "mean delay (h)",
+                "max delay (h)",
+                "incomplete",
+            ),
+            [
+                (
+                    len(users),
+                    osn.sim.events_executed,
+                    round(stats.write_service_rate(), 3),
+                    round(stats.read_service_rate(), 3),
+                    round(stats.mean_propagation_delay_hours, 2),
+                    round(stats.max_propagation_delay_hours, 2),
+                    stats.incomplete_updates,
+                )
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-osn",
+        description=(
+            "Decentralized OSN replica-placement study "
+            "(reproduction of Narendula et al., ICDCS 2012)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run an experiment (or 'all')")
+    p_run.add_argument("experiment", help="experiment id or 'all'")
+    p_run.add_argument("--scale", default="bench", choices=("bench", "full"))
+    p_run.add_argument("--output", help="write the report to a file")
+    p_run.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render each numeric table as an ASCII chart",
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_stats = sub.add_parser("stats", help="synthesise a dataset, print stats")
+    p_stats.add_argument(
+        "--dataset", default="facebook", choices=("facebook", "twitter")
+    )
+    p_stats.add_argument("--users", type=int, default=2000)
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic dataset to disk")
+    p_gen.add_argument(
+        "--kind", default="facebook", choices=("facebook", "twitter")
+    )
+    p_gen.add_argument("--users", type=int, default=2000)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--graph", required=True, help="edge-list output path")
+    p_gen.add_argument("--trace", required=True, help="trace output path")
+    p_gen.set_defaults(fn=_cmd_generate)
+
+    p_sim = sub.add_parser("simulate", help="run the discrete-event replay")
+    p_sim.add_argument(
+        "--dataset", default="facebook", choices=("facebook", "twitter")
+    )
+    p_sim.add_argument("--users", type=int, default=800)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--model", default="sporadic")
+    p_sim.add_argument("--policy", default="maxav")
+    p_sim.add_argument("--degree", type=int, default=10, help="cohort degree")
+    p_sim.add_argument("--cohort", type=int, default=20, help="max cohort size")
+    p_sim.add_argument("--k", type=int, default=3, help="replication degree")
+    p_sim.add_argument("--days", type=int, default=2)
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Experiment harness: cohort selection, placement evaluation, sweeps.
+
+The paper's protocol (§V): pick the cohort of users with a given social
+degree (degree 10 — the most populated bin in both datasets), vary the
+allowed replication degree 0..10, and report the metric means over the
+cohort; runs involving randomness (Random placement, the RandomLength
+model, Sporadic's in-session placement) are repeated 5 times and averaged.
+
+All policies select replicas *incrementally*, so the selection
+sequence for the maximum degree is computed once per user and every
+smaller allowed degree is evaluated on its prefix — an exact, order-
+preserving shortcut (property-tested in the suite).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import UserMetrics, evaluate_user
+from repro.core.placement.base import (
+    CONREP,
+    PlacementContext,
+    PlacementPolicy,
+)
+from repro.datasets.schema import Dataset
+from repro.graph.social_graph import UserId
+from repro.onlinetime.base import OnlineTimeModel, compute_schedules
+from repro.onlinetime.sporadic import SporadicModel
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Cohort means of the per-user metrics (finite-delay means, with the
+    number of users whose group delay was infinite reported separately)."""
+
+    num_users: int
+    availability: float
+    max_achievable_availability: float
+    aod_time: float
+    aod_activity: float
+    expected_activity_fraction: float
+    delay_hours_actual: float
+    delay_hours_observed: float
+    mean_replicas_used: float
+    num_infinite_delay: int
+
+    @staticmethod
+    def from_users(metrics: Sequence[UserMetrics]) -> "AggregateMetrics":
+        if not metrics:
+            raise ValueError("cannot aggregate an empty cohort")
+        n = len(metrics)
+        finite_actual = [
+            m.delay_hours_actual
+            for m in metrics
+            if not math.isinf(m.delay_hours_actual)
+        ]
+        finite_observed = [
+            m.delay_hours_observed
+            for m in metrics
+            if not math.isinf(m.delay_hours_observed)
+        ]
+        return AggregateMetrics(
+            num_users=n,
+            availability=sum(m.availability for m in metrics) / n,
+            max_achievable_availability=sum(
+                m.max_achievable_availability for m in metrics
+            )
+            / n,
+            aod_time=sum(m.aod_time for m in metrics) / n,
+            aod_activity=sum(m.aod_activity for m in metrics) / n,
+            expected_activity_fraction=sum(
+                m.expected_activity_fraction for m in metrics
+            )
+            / n,
+            delay_hours_actual=(
+                sum(finite_actual) / len(finite_actual) if finite_actual else 0.0
+            ),
+            delay_hours_observed=(
+                sum(finite_observed) / len(finite_observed)
+                if finite_observed
+                else 0.0
+            ),
+            mean_replicas_used=sum(m.replication_degree for m in metrics) / n,
+            num_infinite_delay=n - len(finite_actual),
+        )
+
+    @staticmethod
+    def mean(aggregates: Sequence["AggregateMetrics"]) -> "AggregateMetrics":
+        """Average aggregates across repeats (equal weight per repeat)."""
+        if not aggregates:
+            raise ValueError("cannot average zero aggregates")
+        n = len(aggregates)
+        return AggregateMetrics(
+            num_users=round(sum(a.num_users for a in aggregates) / n),
+            availability=sum(a.availability for a in aggregates) / n,
+            max_achievable_availability=sum(
+                a.max_achievable_availability for a in aggregates
+            )
+            / n,
+            aod_time=sum(a.aod_time for a in aggregates) / n,
+            aod_activity=sum(a.aod_activity for a in aggregates) / n,
+            expected_activity_fraction=sum(
+                a.expected_activity_fraction for a in aggregates
+            )
+            / n,
+            delay_hours_actual=sum(a.delay_hours_actual for a in aggregates) / n,
+            delay_hours_observed=sum(
+                a.delay_hours_observed for a in aggregates
+            )
+            / n,
+            mean_replicas_used=sum(a.mean_replicas_used for a in aggregates) / n,
+            num_infinite_delay=round(
+                sum(a.num_infinite_delay for a in aggregates) / n
+            ),
+        )
+
+
+def select_cohort(
+    dataset: Dataset,
+    degree: int,
+    *,
+    max_users: Optional[int] = None,
+    seed: int = 0,
+) -> List[UserId]:
+    """Users with exactly ``degree`` replica candidates; optionally a
+    reproducible subsample of at most ``max_users`` of them."""
+    users = dataset.graph.users_with_degree(degree)
+    if max_users is not None and len(users) > max_users:
+        rng = random.Random(seed)
+        users = sorted(rng.sample(users, max_users))
+    return users
+
+
+def placement_sequences(
+    dataset: Dataset,
+    schedules,
+    users: Sequence[UserId],
+    policy: PlacementPolicy,
+    *,
+    mode: str = CONREP,
+    max_degree: int,
+    seed: int = 0,
+) -> Dict[UserId, Tuple[UserId, ...]]:
+    """The full selection sequence (up to ``max_degree``) for each user."""
+    sequences = {}
+    for user in users:
+        ctx = PlacementContext(
+            dataset=dataset,
+            schedules=schedules,
+            user=user,
+            mode=mode,
+            rng=random.Random(hash((seed, policy.name, user))),
+        )
+        sequences[user] = policy.select(ctx, max_degree)
+    return sequences
+
+
+def evaluate_placements(
+    dataset: Dataset,
+    schedules,
+    sequences: Dict[UserId, Tuple[UserId, ...]],
+    k: int,
+    *,
+    mode: str = CONREP,
+) -> AggregateMetrics:
+    """Evaluate the degree-``k`` prefix of each user's selection sequence."""
+    per_user = [
+        evaluate_user(
+            dataset,
+            schedules,
+            user,
+            seq[:k],
+            allowed_degree=k,
+            mode=mode,
+        )
+        for user, seq in sequences.items()
+    ]
+    return AggregateMetrics.from_users(per_user)
+
+
+def sweep_replication_degree(
+    dataset: Dataset,
+    model: OnlineTimeModel,
+    policies: Sequence[PlacementPolicy],
+    *,
+    mode: str = CONREP,
+    degrees: Sequence[int],
+    users: Sequence[UserId],
+    seed: int = 0,
+    repeats: int = 1,
+) -> Dict[str, List[AggregateMetrics]]:
+    """Metric means per policy per allowed replication degree.
+
+    ``repeats`` re-runs everything with seeds ``seed .. seed+repeats-1``
+    and averages — the paper's protocol for randomised components.
+    """
+    if not users:
+        raise ValueError("empty user cohort")
+    max_degree = max(degrees)
+    runs: Dict[str, List[List[AggregateMetrics]]] = {
+        p.name: [[] for _ in degrees] for p in policies
+    }
+    for r in range(repeats):
+        run_seed = seed + r
+        schedules = compute_schedules(dataset, model, seed=run_seed)
+        for policy in policies:
+            sequences = placement_sequences(
+                dataset,
+                schedules,
+                users,
+                policy,
+                mode=mode,
+                max_degree=max_degree,
+                seed=run_seed,
+            )
+            for i, k in enumerate(degrees):
+                runs[policy.name][i].append(
+                    evaluate_placements(
+                        dataset, schedules, sequences, k, mode=mode
+                    )
+                )
+    return {
+        name: [AggregateMetrics.mean(cell) for cell in cells]
+        for name, cells in runs.items()
+    }
+
+
+def sweep_session_length(
+    dataset: Dataset,
+    session_lengths: Sequence[float],
+    policies: Sequence[PlacementPolicy],
+    *,
+    mode: str = CONREP,
+    k: int,
+    users: Sequence[UserId],
+    seed: int = 0,
+    repeats: int = 1,
+) -> Dict[str, List[AggregateMetrics]]:
+    """Fig. 8: fixed replication degree, Sporadic session length swept."""
+    results: Dict[str, List[AggregateMetrics]] = {p.name: [] for p in policies}
+    for length in session_lengths:
+        model = SporadicModel(session_seconds=length)
+        point = sweep_replication_degree(
+            dataset,
+            model,
+            policies,
+            mode=mode,
+            degrees=[k],
+            users=users,
+            seed=seed,
+            repeats=repeats,
+        )
+        for name, series in point.items():
+            results[name].append(series[0])
+    return results
+
+
+def sweep_user_degree(
+    dataset: Dataset,
+    model: OnlineTimeModel,
+    policies: Sequence[PlacementPolicy],
+    *,
+    mode: str = CONREP,
+    user_degrees: Sequence[int],
+    max_users_per_degree: Optional[int] = None,
+    seed: int = 0,
+    repeats: int = 1,
+) -> Dict[str, List[Optional[AggregateMetrics]]]:
+    """Fig. 9: cohorts of user degree 1..10, replication degree maximal.
+
+    Degrees with no users in the dataset yield ``None`` entries.
+    """
+    results: Dict[str, List[Optional[AggregateMetrics]]] = {
+        p.name: [] for p in policies
+    }
+    for degree in user_degrees:
+        users = select_cohort(
+            dataset, degree, max_users=max_users_per_degree, seed=seed
+        )
+        if not users:
+            for p in policies:
+                results[p.name].append(None)
+            continue
+        point = sweep_replication_degree(
+            dataset,
+            model,
+            policies,
+            mode=mode,
+            degrees=[degree],  # allow every candidate to host
+            users=users,
+            seed=seed,
+            repeats=repeats,
+        )
+        for name, series in point.items():
+            results[name].append(series[0])
+    return results

@@ -1,0 +1,177 @@
+"""The paper's efficiency metrics (§II-C), computed per user.
+
+Given a user's replica group (owner + chosen replicas) and everyone's
+daily schedules:
+
+* **availability** — fraction of the day the profile is reachable through
+  any group member (the owner hosts his own copy, so degree 0 gives the
+  owner's own online fraction);
+* **availability-on-demand-time** — fraction of the *friends'* combined
+  online time during which the profile is reachable;
+* **availability-on-demand-activity** — fraction of the activities that
+  landed on the user's profile whose instants (projected onto the day)
+  found the profile reachable; the expected/unexpected split (§IV-B)
+  classifies each activity by whether its creator was himself online at
+  that instant under the model;
+* **update propagation delay** — actual and observed, from
+  :mod:`repro.core.connectivity`, picked by regime (ConRep graph diameter
+  vs UnconRep third-party sync);
+* **replication degree** — how many replicas were actually used (the
+  privacy-exposure proxy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.connectivity import (
+    ReplicaGroup,
+    actual_propagation_delay_hours,
+    observed_propagation_delay_hours,
+    unconrep_propagation_delay_hours,
+)
+from repro.core.placement.base import CONREP, UNCONREP
+from repro.datasets.schema import Dataset
+from repro.graph.social_graph import UserId
+from repro.onlinetime.base import Schedules
+from repro.timeline.day import DAY_SECONDS
+from repro.timeline.intervals import IntervalSet
+
+
+@dataclass(frozen=True)
+class UserMetrics:
+    """All §II-C metrics for one user under one placement."""
+
+    user: UserId
+    allowed_degree: int
+    replicas: Tuple[UserId, ...]
+    availability: float
+    max_achievable_availability: float
+    aod_time: float
+    aod_activity: float
+    expected_activity_fraction: float
+    aod_activity_expected: float
+    aod_activity_unexpected: float
+    delay_hours_actual: float
+    delay_hours_observed: float
+
+    @property
+    def replication_degree(self) -> int:
+        """Replicas actually used (may be < allowed under ConRep)."""
+        return len(self.replicas)
+
+
+def profile_schedule(
+    user: UserId, replicas: Sequence[UserId], schedules: Schedules
+) -> IntervalSet:
+    """When the profile is reachable: owner or any replica online."""
+    parts = [schedules.get(user, IntervalSet.empty())]
+    parts.extend(schedules.get(r, IntervalSet.empty()) for r in replicas)
+    return IntervalSet.union_all(parts)
+
+
+def evaluate_user(
+    dataset: Dataset,
+    schedules: Schedules,
+    user: UserId,
+    replicas: Sequence[UserId],
+    *,
+    allowed_degree: int = None,
+    mode: str = CONREP,
+) -> UserMetrics:
+    """Compute every metric for one user's replica placement."""
+    if mode not in (CONREP, UNCONREP):
+        raise ValueError(f"unknown mode {mode!r}")
+    replicas = tuple(replicas)
+    if allowed_degree is None:
+        allowed_degree = len(replicas)
+
+    empty = IntervalSet.empty()
+    group_sched = profile_schedule(user, replicas, schedules)
+    availability = group_sched.measure / DAY_SECONDS
+
+    candidates = dataset.replica_candidates(user)
+    friends_union = IntervalSet.union_all(
+        schedules.get(f, empty) for f in candidates
+    )
+    max_achievable = (
+        friends_union.union(schedules.get(user, empty)).measure / DAY_SECONDS
+    )
+    if friends_union.measure > 0:
+        aod_time = group_sched.overlap(friends_union) / friends_union.measure
+    else:
+        aod_time = 1.0  # no demand window: vacuously served
+
+    received = dataset.trace.received_by(user)
+    total = len(received)
+    served = expected = served_expected = served_unexpected = 0
+    for act in received:
+        instant = act.second_of_day
+        is_served = group_sched.contains(instant)
+        creator_online = schedules.get(act.creator, empty).contains(instant)
+        if is_served:
+            served += 1
+        if creator_online:
+            expected += 1
+            if is_served:
+                served_expected += 1
+        elif is_served:
+            served_unexpected += 1
+    if total:
+        aod_activity = served / total
+        expected_fraction = expected / total
+        aod_expected = served_expected / expected if expected else 1.0
+        unexpected = total - expected
+        aod_unexpected = served_unexpected / unexpected if unexpected else 1.0
+    else:
+        aod_activity = expected_fraction = 1.0
+        aod_expected = aod_unexpected = 1.0
+
+    group = ReplicaGroup(
+        owner=user,
+        replicas=replicas,
+        schedules={
+            m: schedules.get(m, empty) for m in (user,) + replicas
+        },
+    )
+    if mode == CONREP:
+        delay_actual = actual_propagation_delay_hours(group)
+        delay_observed = observed_propagation_delay_hours(group)
+    else:
+        delay_actual = unconrep_propagation_delay_hours(group)
+        delay_observed = _observed_unconrep(group, delay_actual)
+
+    return UserMetrics(
+        user=user,
+        allowed_degree=allowed_degree,
+        replicas=replicas,
+        availability=availability,
+        max_achievable_availability=max_achievable,
+        aod_time=aod_time,
+        aod_activity=aod_activity,
+        expected_activity_fraction=expected_fraction,
+        aod_activity_expected=aod_expected,
+        aod_activity_unexpected=aod_unexpected,
+        delay_hours_actual=delay_actual,
+        delay_hours_observed=delay_observed,
+    )
+
+
+def _observed_unconrep(group: ReplicaGroup, actual_hours: float) -> float:
+    """Observed counterpart of the UnconRep delay: cap each receiver's wait
+    by his own online time inside the actual window (same periodic bound
+    as the ConRep observed delay)."""
+    if actual_hours == 0.0:
+        return 0.0
+    if math.isinf(actual_hours):
+        return math.inf
+    worst = 0.0
+    actual_seconds = actual_hours * 3600.0
+    for member in group.members:
+        sched = group.schedules[member]
+        full_days, remainder = divmod(actual_seconds, DAY_SECONDS)
+        observed = full_days * sched.measure + min(remainder, sched.measure)
+        worst = max(worst, observed)
+    return worst / 3600.0

@@ -1,0 +1,65 @@
+"""Replica placement policies: MaxAv, MostActive, Random (paper §III).
+
+Use :func:`make_policy` to build one from its registry name::
+
+    make_policy("maxav")
+    make_policy("maxav", objective="activity")
+    make_policy("mostactive")
+    make_policy("random")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.placement.base import (
+    CONREP,
+    UNCONREP,
+    ConnectivityTracker,
+    PlacementContext,
+    PlacementPolicy,
+)
+from repro.core.placement.capacity import place_network
+from repro.core.placement.hybrid import HybridPlacement
+from repro.core.placement.maxav import MaxAvPlacement
+from repro.core.placement.most_active import MostActivePlacement
+from repro.core.placement.random_policy import RandomPlacement
+
+_REGISTRY: Dict[str, Callable[..., PlacementPolicy]] = {
+    "hybrid": HybridPlacement,
+    "maxav": MaxAvPlacement,
+    "mostactive": MostActivePlacement,
+    "random": RandomPlacement,
+}
+
+
+def make_policy(name: str, **kwargs) -> PlacementPolicy:
+    """Build a placement policy by registry name."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def policy_names() -> list:
+    """Registered policy names."""
+    return sorted(_REGISTRY)
+
+
+__all__ = [
+    "CONREP",
+    "ConnectivityTracker",
+    "HybridPlacement",
+    "MaxAvPlacement",
+    "MostActivePlacement",
+    "PlacementContext",
+    "PlacementPolicy",
+    "RandomPlacement",
+    "UNCONREP",
+    "make_policy",
+    "place_network",
+    "policy_names",
+]

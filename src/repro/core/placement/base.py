@@ -1,0 +1,106 @@
+"""Placement-policy interface and the ConRep/UnconRep machinery.
+
+A placement policy chooses, for one user, up to ``k`` replica locations
+among his replica candidates (friends on Facebook, followers on Twitter).
+Two regimes (paper §II-A):
+
+* **ConRep** — the chosen replicas must form a time-connected component
+  seeded at the owner: the first replica must overlap the owner's
+  schedule, each subsequent one must overlap some already-chosen member.
+  A privacy-conscious decentralized OSN needs this, since replicas can
+  then exchange updates without third-party storage.
+* **UnconRep** — no connectivity constraint (replicas sync via CDN/DHT).
+
+Policies are stateless; all inputs arrive through
+:class:`PlacementContext`, and randomness flows through an explicit
+``random.Random`` derived from the experiment seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.datasets.schema import Dataset
+from repro.graph.social_graph import UserId
+from repro.onlinetime.base import Schedules
+from repro.timeline.intervals import IntervalSet
+
+#: Regime names.
+CONREP = "conrep"
+UNCONREP = "unconrep"
+
+
+@dataclass
+class PlacementContext:
+    """Everything a policy may consult when placing one user's replicas."""
+
+    dataset: Dataset
+    schedules: Schedules
+    user: UserId
+    mode: str = CONREP
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def __post_init__(self) -> None:
+        if self.mode not in (CONREP, UNCONREP):
+            raise ValueError(f"unknown placement mode {self.mode!r}")
+
+    @property
+    def candidates(self) -> Tuple[UserId, ...]:
+        """The user's replica candidates, sorted for determinism."""
+        return tuple(sorted(self.dataset.replica_candidates(self.user)))
+
+    def schedule_of(self, user: UserId) -> IntervalSet:
+        return self.schedules.get(user, IntervalSet.empty())
+
+
+class ConnectivityTracker:
+    """Incremental ConRep constraint: which candidates touch the group.
+
+    The group's reachable time is the union of the members' schedules
+    (owner-seeded); a candidate is *connected* iff his schedule overlaps
+    that union — equivalently, overlaps at least one member.
+    """
+
+    def __init__(self, ctx: PlacementContext):
+        self._ctx = ctx
+        self._group_schedule = ctx.schedule_of(ctx.user)
+
+    @property
+    def group_schedule(self) -> IntervalSet:
+        return self._group_schedule
+
+    def is_connected(self, candidate: UserId) -> bool:
+        return self._ctx.schedule_of(candidate).overlaps(self._group_schedule)
+
+    def admit(self, candidate: UserId) -> None:
+        self._group_schedule = self._group_schedule.union(
+            self._ctx.schedule_of(candidate)
+        )
+
+    def filter_connected(self, candidates: Sequence[UserId]) -> List[UserId]:
+        return [c for c in candidates if self.is_connected(c)]
+
+
+class PlacementPolicy(ABC):
+    """Chooses replica locations for one user."""
+
+    #: Registry/report name.
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, ctx: PlacementContext, k: int) -> Tuple[UserId, ...]:
+        """Choose up to ``k`` replicas for ``ctx.user``.
+
+        Under ConRep the result may be shorter than ``k`` ("the actual
+        number of replicas chosen may be much lower than the maximum
+        allowed replication degree, as enough connected replicas can not
+        always be found" — §V-A1); UnconRep policies may also stop early
+        when no candidate improves their objective.
+        """
+
+    def _check_k(self, k: int) -> None:
+        if k < 0:
+            raise ValueError("replication degree must be >= 0")

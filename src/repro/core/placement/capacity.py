@@ -1,0 +1,100 @@
+"""Capacity-constrained, network-wide placement.
+
+Experiment X4 measures what §II-B1 fears: the smart per-user policies
+overload hub nodes.  The operational fix in a real deployment is a
+per-host *capacity*: a node refuses to host more than ``capacity``
+foreign profiles.  This module runs any per-user policy over the whole
+network while enforcing that budget — users are placed in a seeded random
+order, and a full host simply stops being a candidate for later users.
+
+This turns placement into a sequential game: tightening the capacity
+trades per-user availability for network-wide fairness.  Ablation A9
+(`benchmarks/test_a9_capacity.py`) quantifies the frontier.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from repro.core.placement.base import CONREP, PlacementContext, PlacementPolicy
+from repro.datasets.schema import Dataset
+from repro.graph.social_graph import UserId
+from repro.onlinetime.base import Schedules
+
+
+class _CapacityFilteredDataset:
+    """A dataset view that hides hosts whose capacity is exhausted.
+
+    Everything except :meth:`replica_candidates` is delegated to the
+    wrapped dataset, so policies (which also consult the trace and the
+    graph) behave normally.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        load: Mapping[UserId, int],
+        capacity: int,
+    ):
+        self._dataset = dataset
+        self._load = load
+        self._capacity = capacity
+
+    def replica_candidates(self, user: UserId) -> FrozenSet[UserId]:
+        return frozenset(
+            c
+            for c in self._dataset.replica_candidates(user)
+            if self._load.get(c, 0) < self._capacity
+        )
+
+    def __getattr__(self, name: str):
+        return getattr(self._dataset, name)
+
+
+def place_network(
+    dataset: Dataset,
+    schedules: Schedules,
+    policy: PlacementPolicy,
+    *,
+    k: int,
+    capacity: Optional[int] = None,
+    users: Optional[Sequence[UserId]] = None,
+    mode: str = CONREP,
+    seed: int = 0,
+) -> Dict[UserId, Tuple[UserId, ...]]:
+    """Place every user's replicas under a shared per-host capacity.
+
+    Without a capacity this matches
+    :func:`repro.core.evaluation.placement_sequences` exactly (same
+    per-user RNG derivation).  With one, users are visited in a seeded
+    random order — the order matters once hosts can fill up, and
+    randomising it avoids systematically favouring low user ids.
+    """
+    if capacity is not None and capacity < 1:
+        raise ValueError("capacity must be >= 1 (or None for unlimited)")
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    order = list(users) if users is not None else sorted(dataset.graph.users())
+    load: Dict[UserId, int] = {}
+    if capacity is not None:
+        random.Random(seed).shuffle(order)
+        view: Dataset = _CapacityFilteredDataset(dataset, load, capacity)
+    else:
+        view = dataset
+
+    placements: Dict[UserId, Tuple[UserId, ...]] = {}
+    for user in order:
+        ctx = PlacementContext(
+            dataset=view,
+            schedules=schedules,
+            user=user,
+            mode=mode,
+            rng=random.Random(hash((seed, policy.name, user))),
+        )
+        selection = policy.select(ctx, k)
+        placements[user] = selection
+        if capacity is not None:
+            for host in selection:
+                load[host] = load.get(host, 0) + 1
+    return placements

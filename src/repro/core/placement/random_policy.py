@@ -1,0 +1,45 @@
+"""Random: uniformly random friends host replicas (paper §III-C).
+
+The naïve baseline.  Under UnconRep a uniform ``k``-subset of the
+candidates is drawn; under ConRep the pick at each step is uniform over
+the candidates currently connected in time to the group, stopping when
+none remains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.placement.base import (
+    CONREP,
+    ConnectivityTracker,
+    PlacementContext,
+    PlacementPolicy,
+)
+from repro.graph.social_graph import UserId
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniformly random replica selection."""
+
+    name = "random"
+
+    def select(self, ctx: PlacementContext, k: int) -> Tuple[UserId, ...]:
+        self._check_k(k)
+        if k == 0:
+            return ()
+        pool: List[UserId] = list(ctx.candidates)
+        if ctx.mode != CONREP:
+            ctx.rng.shuffle(pool)
+            return tuple(pool[:k])
+        tracker = ConnectivityTracker(ctx)
+        chosen: List[UserId] = []
+        while pool and len(chosen) < k:
+            connected = tracker.filter_connected(pool)
+            if not connected:
+                break
+            pick = ctx.rng.choice(connected)
+            pool.remove(pick)
+            tracker.admit(pick)
+            chosen.append(pick)
+        return tuple(chosen)

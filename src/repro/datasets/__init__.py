@@ -1,0 +1,57 @@
+"""Dataset substrate: trace schema, synthesis, loaders, filters, statistics."""
+
+from repro.datasets.facebook import (
+    PAPER_FACEBOOK_AVG_ACTIVITIES,
+    PAPER_FACEBOOK_AVG_DEGREE,
+    PAPER_FACEBOOK_USERS,
+    load_facebook_dataset,
+    load_facebook_wall_trace,
+    synthetic_facebook,
+)
+from repro.datasets.filters import filter_dataset
+from repro.datasets.schema import Activity, ActivityTrace, Dataset
+from repro.datasets.stats import (
+    DatasetStats,
+    activity_count_distribution,
+    dataset_stats,
+    degree_distribution,
+)
+from repro.datasets.synthesis import (
+    DiurnalMixture,
+    TraceParams,
+    synthesize_tweet_trace,
+    synthesize_wall_trace,
+)
+from repro.datasets.twitter import (
+    PAPER_TWITTER_AVG_DEGREE,
+    PAPER_TWITTER_USERS,
+    load_tweet_trace,
+    load_twitter_dataset,
+    synthetic_twitter,
+)
+
+__all__ = [
+    "Activity",
+    "ActivityTrace",
+    "Dataset",
+    "DatasetStats",
+    "DiurnalMixture",
+    "PAPER_FACEBOOK_AVG_ACTIVITIES",
+    "PAPER_FACEBOOK_AVG_DEGREE",
+    "PAPER_FACEBOOK_USERS",
+    "PAPER_TWITTER_AVG_DEGREE",
+    "PAPER_TWITTER_USERS",
+    "TraceParams",
+    "activity_count_distribution",
+    "dataset_stats",
+    "degree_distribution",
+    "filter_dataset",
+    "load_facebook_dataset",
+    "load_facebook_wall_trace",
+    "load_tweet_trace",
+    "load_twitter_dataset",
+    "synthesize_tweet_trace",
+    "synthesize_wall_trace",
+    "synthetic_facebook",
+    "synthetic_twitter",
+]

@@ -1,0 +1,64 @@
+"""The paper's dataset-filtering pipeline (§IV-A).
+
+Two rules are applied to the raw traces:
+
+1. *activity filter* — "We filtered out users with very little activity
+   (less than 10 wall-posts or tweets)";
+2. *candidate filter* (Twitter only) — "we excluded all the users whose
+   followers are not present in the dataset": a user with no in-dataset
+   replica candidates cannot take part in an F2F study at all.
+
+Filtering is iterated to a fixed point, because removing a user can strip
+another user of his last follower or drop activities below the threshold
+(activities whose creator or receiver was removed no longer count).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.datasets.schema import Dataset
+
+
+def filter_dataset(
+    dataset: Dataset,
+    *,
+    min_activities: int = 10,
+    require_candidates: bool = False,
+    max_rounds: int = 50,
+) -> Dataset:
+    """Apply the activity (and optionally candidate) filters to fixpoint.
+
+    Returns a new :class:`Dataset` with the induced subgraph and the trace
+    restricted to surviving creator/receiver pairs.  The input is not
+    modified.
+    """
+    if min_activities < 0:
+        raise ValueError("min_activities must be >= 0")
+
+    graph = dataset.graph
+    trace = dataset.trace
+    for _ in range(max_rounds):
+        keep: Set[int] = set()
+        for user in graph.users():
+            if trace.activity_count(user) < min_activities:
+                continue
+            if require_candidates and not graph.replica_candidates(user):
+                continue
+            keep.add(user)
+        if len(keep) == graph.num_users:
+            break
+        graph = graph.subgraph(keep)
+        trace = trace.restricted_to(keep)
+
+    return Dataset(
+        name=dataset.name,
+        kind=dataset.kind,
+        graph=graph,
+        trace=trace,
+        notes=dataset.notes
+        + (
+            f" | filtered: min_activities={min_activities}"
+            + (", require_candidates" if require_candidates else "")
+        ),
+    )

@@ -1,0 +1,162 @@
+"""Activity-trace schema.
+
+The study consumes exactly three ingredients (paper §IV-A): the social
+graph, the activities among users, and each activity's timestamp.  An
+:class:`Activity` is one wall post (Facebook) or one directed tweet
+(Twitter): it has a *creator*, a *receiver* (the profile it lands on) and an
+absolute timestamp in seconds.
+
+:class:`ActivityTrace` is an immutable, indexed container over activities;
+:class:`Dataset` bundles the trace with its graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.graph.social_graph import FollowerGraph, SocialGraph, UserId
+from repro.timeline.day import time_of_day
+
+Graph = Union[SocialGraph, FollowerGraph]
+
+
+@dataclass(frozen=True, order=True)
+class Activity:
+    """One interaction: ``creator`` posts on ``receiver``'s profile.
+
+    ``timestamp`` is absolute seconds (UNIX-epoch-like); metrics that live
+    on the periodic day use :attr:`second_of_day`.
+    """
+
+    timestamp: float
+    creator: UserId
+    receiver: UserId
+
+    @property
+    def second_of_day(self) -> float:
+        """The activity instant projected onto the periodic day."""
+        return time_of_day(self.timestamp)
+
+
+class ActivityTrace:
+    """An indexed, chronologically sorted collection of activities."""
+
+    def __init__(self, activities: Iterable[Activity]):
+        self._activities: Tuple[Activity, ...] = tuple(sorted(activities))
+        self._by_creator: Dict[UserId, List[Activity]] = {}
+        self._by_receiver: Dict[UserId, List[Activity]] = {}
+        for act in self._activities:
+            self._by_creator.setdefault(act.creator, []).append(act)
+            self._by_receiver.setdefault(act.receiver, []).append(act)
+
+    # -- bulk access -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._activities)
+
+    def __iter__(self) -> Iterator[Activity]:
+        return iter(self._activities)
+
+    def __bool__(self) -> bool:
+        return bool(self._activities)
+
+    @property
+    def activities(self) -> Tuple[Activity, ...]:
+        return self._activities
+
+    @property
+    def begin(self) -> float:
+        """Timestamp of the first activity (0 for an empty trace)."""
+        return self._activities[0].timestamp if self._activities else 0.0
+
+    @property
+    def end(self) -> float:
+        """Timestamp of the last activity (0 for an empty trace)."""
+        return self._activities[-1].timestamp if self._activities else 0.0
+
+    @property
+    def span_seconds(self) -> float:
+        return self.end - self.begin
+
+    # -- per-user views --------------------------------------------------
+
+    def created_by(self, user: UserId) -> Sequence[Activity]:
+        """Activities the user performed (defines his online time under the
+        Sporadic / continuous models)."""
+        return self._by_creator.get(user, [])
+
+    def received_by(self, user: UserId) -> Sequence[Activity]:
+        """Activities landing on the user's profile (the demand that
+        availability-on-demand-activity measures)."""
+        return self._by_receiver.get(user, [])
+
+    def activity_count(self, user: UserId) -> int:
+        """Number of activities the user created (the paper filters on
+        'less than 10 wall-posts or tweets')."""
+        return len(self._by_creator.get(user, ()))
+
+    def interaction_counts(self, user: UserId) -> Dict[UserId, int]:
+        """Map friend → how many activities that friend created on
+        ``user``'s profile.  This is the MostActive ranking signal: 'a
+        friend who created most of a user's received activity is considered
+        as the most active friend' (paper §IV-B)."""
+        counts: Dict[UserId, int] = {}
+        for act in self._by_receiver.get(user, ()):
+            if act.creator != user:
+                counts[act.creator] = counts.get(act.creator, 0) + 1
+        return counts
+
+    # -- transforms ---------------------------------------------------------
+
+    def window(self, begin: float, end: float) -> "ActivityTrace":
+        """Activities with ``begin <= timestamp < end`` (the paper's
+        'pre-defined time frame in the past')."""
+        return ActivityTrace(
+            act for act in self._activities if begin <= act.timestamp < end
+        )
+
+    def restricted_to(self, users: Iterable[UserId]) -> "ActivityTrace":
+        """Activities whose creator *and* receiver both survive filtering."""
+        keep = set(users)
+        return ActivityTrace(
+            act
+            for act in self._activities
+            if act.creator in keep and act.receiver in keep
+        )
+
+
+@dataclass
+class Dataset:
+    """A named social graph plus its activity trace.
+
+    ``kind`` selects replica-candidate semantics: ``"facebook"`` replicates
+    on friends of an undirected graph, ``"twitter"`` on followers of a
+    directed graph.
+    """
+
+    name: str
+    kind: str
+    graph: Graph
+    trace: ActivityTrace
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("facebook", "twitter"):
+            raise ValueError(f"unknown dataset kind: {self.kind!r}")
+        expected_directed = self.kind == "twitter"
+        if self.graph.directed != expected_directed:
+            raise ValueError(
+                f"{self.kind} dataset requires a "
+                f"{'directed' if expected_directed else 'undirected'} graph"
+            )
+
+    @property
+    def num_users(self) -> int:
+        return self.graph.num_users
+
+    def replica_candidates(self, user: UserId):
+        return self.graph.replica_candidates(user)
+
+    def degree(self, user: UserId) -> int:
+        return self.graph.degree(user)

@@ -1,0 +1,68 @@
+"""Dataset statistics: the §IV-A table numbers and Fig. 2's distribution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datasets.schema import Dataset
+from repro.timeline.day import DAY_SECONDS
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics of a (filtered) dataset."""
+
+    name: str
+    kind: str
+    num_users: int
+    num_edges: int
+    average_degree: float
+    num_activities: int
+    average_activities_per_user: float
+    trace_span_days: float
+
+    def as_row(self) -> Tuple:
+        return (
+            self.name,
+            self.kind,
+            self.num_users,
+            self.num_edges,
+            round(self.average_degree, 2),
+            self.num_activities,
+            round(self.average_activities_per_user, 2),
+            round(self.trace_span_days, 1),
+        )
+
+
+def dataset_stats(dataset: Dataset) -> DatasetStats:
+    """Compute the summary the paper reports in §IV-A."""
+    num_users = dataset.graph.num_users
+    num_activities = len(dataset.trace)
+    return DatasetStats(
+        name=dataset.name,
+        kind=dataset.kind,
+        num_users=num_users,
+        num_edges=dataset.graph.num_edges,
+        average_degree=dataset.graph.average_degree(),
+        num_activities=num_activities,
+        average_activities_per_user=(
+            num_activities / num_users if num_users else 0.0
+        ),
+        trace_span_days=dataset.trace.span_seconds / DAY_SECONDS,
+    )
+
+
+def degree_distribution(dataset: Dataset) -> List[Tuple[int, int]]:
+    """Sorted ``(degree, number_of_users)`` pairs — the series of Fig. 2."""
+    histogram: Dict[int, int] = dataset.graph.degree_histogram()
+    return sorted(histogram.items())
+
+
+def activity_count_distribution(dataset: Dataset) -> List[Tuple[int, int]]:
+    """Sorted ``(created_activity_count, number_of_users)`` pairs."""
+    counts: Dict[int, int] = {}
+    for user in dataset.graph.users():
+        c = dataset.trace.activity_count(user)
+        counts[c] = counts.get(c, 0) + 1
+    return sorted(counts.items())

@@ -1,0 +1,179 @@
+"""Synthetic activity-trace generation.
+
+The original traces (Viswanath et al.'s Facebook New Orleans wall posts and
+Galuba et al.'s Twitter tweets) are not redistributable, so the experiments
+run by default on synthetic substitutes that preserve the features the
+algorithms actually consume:
+
+* a heavy-tailed social graph (see :mod:`repro.graph.generators`);
+* a heavy-tailed per-user activity volume (lognormal, mean configurable;
+  the paper's filtered averages are ≈50 wall posts / user);
+* **diurnal structure**: each user has a personal peak time-of-day drawn
+  from a population mixture (evening-heavy, as measured for OSNs) and his
+  activities cluster around it — this is what makes the FixedLength window
+  placement and the Sporadic sessions meaningful;
+* **skewed partner choice**: a user interacts mostly with a few favourite
+  friends (Zipf over a random per-user ranking) — this is what gives the
+  MostActive policy its signal.
+
+Everything is driven by one :class:`random.Random` instance, so a dataset
+is a pure function of ``(params, seed)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.schema import Activity, ActivityTrace
+from repro.graph.social_graph import FollowerGraph, SocialGraph, UserId
+from repro.timeline.day import DAY_SECONDS, HOUR_SECONDS
+
+
+@dataclass(frozen=True)
+class DiurnalMixture:
+    """A population mixture of daily activity peaks.
+
+    Each component is ``(weight, peak_second_of_day, std_seconds)``; a user
+    is assigned one component and a personal peak jittered around the
+    component's.  The default mixture is evening-heavy with afternoon and
+    late-night minorities, the shape reported for Facebook/Twitter usage.
+    """
+
+    components: Tuple[Tuple[float, float, float], ...] = (
+        (0.55, 20.5 * HOUR_SECONDS, 1.5 * HOUR_SECONDS),  # evening
+        (0.30, 14.0 * HOUR_SECONDS, 2.0 * HOUR_SECONDS),  # afternoon
+        (0.15, 0.5 * HOUR_SECONDS, 2.0 * HOUR_SECONDS),  # night owls
+    )
+
+    def draw_peak(self, rng: random.Random) -> float:
+        """A personal peak second-of-day for one user."""
+        r = rng.random()
+        acc = 0.0
+        for weight, peak, std in self.components:
+            acc += weight
+            if r <= acc:
+                return (rng.gauss(peak, std)) % DAY_SECONDS
+        weight, peak, std = self.components[-1]
+        return (rng.gauss(peak, std)) % DAY_SECONDS
+
+
+@dataclass(frozen=True)
+class TraceParams:
+    """Knobs of the synthetic trace generator."""
+
+    #: Length of the trace in days (the Twitter trace spans two weeks).
+    trace_days: int = 14
+    #: Mean of the lognormal per-user created-activity count.
+    activities_mean: float = 50.0
+    #: Lognormal sigma; higher → heavier activity tail.
+    activities_sigma: float = 0.6
+    #: Spread of a user's activity instants around his personal peak.
+    diurnal_std_hours: float = 2.5
+    #: Zipf exponent of partner choice (0 → uniform partners).
+    partner_zipf_alpha: float = 1.2
+    #: Population mixture of daily peaks.
+    mixture: DiurnalMixture = field(default_factory=DiurnalMixture)
+
+    def __post_init__(self) -> None:
+        if self.trace_days < 1:
+            raise ValueError("trace_days must be >= 1")
+        if self.activities_mean <= 0:
+            raise ValueError("activities_mean must be positive")
+        if self.partner_zipf_alpha < 0:
+            raise ValueError("partner_zipf_alpha must be >= 0")
+
+
+def _draw_activity_count(params: TraceParams, rng: random.Random) -> int:
+    """Lognormal count with the configured mean (>= 1)."""
+    sigma = params.activities_sigma
+    mu = math.log(params.activities_mean) - sigma * sigma / 2.0
+    return max(1, round(rng.lognormvariate(mu, sigma)))
+
+
+def _zipf_partner_weights(
+    partners: Sequence[UserId], alpha: float, rng: random.Random
+) -> Tuple[List[UserId], List[float]]:
+    """A per-user random favourite ranking with Zipf weights."""
+    ranked = list(partners)
+    rng.shuffle(ranked)
+    weights = [1.0 / (rank ** alpha) for rank in range(1, len(ranked) + 1)]
+    return ranked, weights
+
+
+def _draw_timestamp(
+    peak: float, params: TraceParams, rng: random.Random
+) -> float:
+    day = rng.randrange(params.trace_days)
+    tod = rng.gauss(peak, params.diurnal_std_hours * HOUR_SECONDS) % DAY_SECONDS
+    return day * DAY_SECONDS + tod
+
+
+def synthesize_wall_trace(
+    graph: SocialGraph, params: TraceParams, rng: random.Random
+) -> ActivityTrace:
+    """Facebook-style trace: each user posts on his friends' walls.
+
+    Every activity created by ``u`` lands on the wall of a friend chosen
+    from ``u``'s Zipf-ranked favourites; users without friends create
+    nothing (they fall to the activity filter, as in the real pipeline).
+    """
+    activities: List[Activity] = []
+    peaks: Dict[UserId, float] = {
+        u: params.mixture.draw_peak(rng) for u in graph.users()
+    }
+    for user in graph.users():
+        friends = sorted(graph.neighbors(user))
+        if not friends:
+            continue
+        ranked, weights = _zipf_partner_weights(
+            friends, params.partner_zipf_alpha, rng
+        )
+        count = _draw_activity_count(params, rng)
+        receivers = rng.choices(ranked, weights=weights, k=count)
+        for receiver in receivers:
+            activities.append(
+                Activity(
+                    timestamp=_draw_timestamp(peaks[user], params, rng),
+                    creator=user,
+                    receiver=receiver,
+                )
+            )
+    return ActivityTrace(activities)
+
+
+def synthesize_tweet_trace(
+    graph: FollowerGraph, params: TraceParams, rng: random.Random
+) -> ActivityTrace:
+    """Twitter-style trace: directed tweets (mentions/replies).
+
+    A tweet by ``u`` is directed at one of the users ``u`` follows — so the
+    activity *received* by a user is created by his followers, i.e. by his
+    replica candidates, mirroring the wall-post structure the metrics and
+    the MostActive ranking expect.  Users following nobody tweet into the
+    void and are skipped (they fall to the activity filter).
+    """
+    activities: List[Activity] = []
+    peaks: Dict[UserId, float] = {
+        u: params.mixture.draw_peak(rng) for u in graph.users()
+    }
+    for user in graph.users():
+        followees = sorted(graph.followees(user))
+        if not followees:
+            continue
+        ranked, weights = _zipf_partner_weights(
+            followees, params.partner_zipf_alpha, rng
+        )
+        count = _draw_activity_count(params, rng)
+        receivers = rng.choices(ranked, weights=weights, k=count)
+        for receiver in receivers:
+            activities.append(
+                Activity(
+                    timestamp=_draw_timestamp(peaks[user], params, rng),
+                    creator=user,
+                    receiver=receiver,
+                )
+            )
+    return ActivityTrace(activities)

@@ -1,0 +1,45 @@
+"""Experiment registry: every paper table/figure as a runnable experiment."""
+
+from repro.experiments.config import (
+    BENCH,
+    FULL,
+    ExperimentScale,
+    facebook_dataset,
+    get_scale,
+    twitter_dataset,
+)
+from repro.experiments.figures import (
+    DEGREES,
+    EXPERIMENTS,
+    POLICY_ORDER,
+    SESSION_LENGTHS,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.runner import jsonify, result_to_dict, run_batch
+from repro.experiments.report import (
+    ExperimentResult,
+    ResultTable,
+    format_table,
+)
+
+__all__ = [
+    "BENCH",
+    "DEGREES",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentScale",
+    "FULL",
+    "POLICY_ORDER",
+    "ResultTable",
+    "SESSION_LENGTHS",
+    "experiment_ids",
+    "facebook_dataset",
+    "format_table",
+    "jsonify",
+    "result_to_dict",
+    "run_batch",
+    "get_scale",
+    "run_experiment",
+    "twitter_dataset",
+]

@@ -1,0 +1,86 @@
+"""Batch experiment running and result serialisation.
+
+`run_batch` executes a list of experiments at one scale and writes, per
+experiment, both the human-readable report (``<id>.txt``) and a
+JSON-serialised result (``<id>.json``) whose ``data`` section carries the
+raw series — the machine-readable counterpart the EXPERIMENTS.md numbers
+were taken from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.experiments.config import BENCH, ExperimentScale
+from repro.experiments.figures import experiment_ids, run_experiment
+from repro.experiments.report import ExperimentResult
+
+
+def jsonify(value: Any) -> Any:
+    """Convert experiment payloads (dataclasses, tuples, infinities) into
+    JSON-encodable structures.  Non-finite floats become strings, so the
+    output parses under strict JSON decoders too."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonify(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)  # "inf" / "-inf" / "nan"
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """A JSON-safe dictionary view of an experiment result."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "description": result.description,
+        "paper_expectation": result.paper_expectation,
+        "tables": [
+            {
+                "caption": t.caption,
+                "headers": list(t.headers),
+                "rows": jsonify(t.rows),
+            }
+            for t in result.tables
+        ],
+        "data": jsonify(result.data),
+    }
+
+
+def run_batch(
+    out_dir: Union[str, os.PathLike],
+    *,
+    scale: ExperimentScale = BENCH,
+    ids: Optional[Iterable[str]] = None,
+) -> List[Path]:
+    """Run experiments and write ``<id>.txt`` + ``<id>.json`` per entry.
+
+    Returns the paths written.  The directory is created if missing.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for eid in ids if ids is not None else experiment_ids():
+        result = run_experiment(eid, scale)
+        txt_path = out / f"{eid}.txt"
+        txt_path.write_text(result.render() + "\n", encoding="utf-8")
+        json_path = out / f"{eid}.json"
+        json_path.write_text(
+            json.dumps(result_to_dict(result), indent=1, sort_keys=True),
+            encoding="utf-8",
+        )
+        written.extend([txt_path, json_path])
+    return written

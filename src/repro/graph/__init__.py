@@ -1,0 +1,33 @@
+"""Social-graph substrate: structures, generators, and edge-list I/O."""
+
+from repro.graph.generators import (
+    barabasi_albert,
+    configuration_graph,
+    erdos_renyi,
+    powerlaw_degree_sequence,
+    powerlaw_follower_graph,
+    preferential_follower_graph,
+    ring_of_cliques,
+)
+from repro.graph.io import (
+    read_follower_graph,
+    read_friendship_graph,
+    write_graph,
+)
+from repro.graph.social_graph import FollowerGraph, SocialGraph, UserId
+
+__all__ = [
+    "FollowerGraph",
+    "SocialGraph",
+    "UserId",
+    "barabasi_albert",
+    "configuration_graph",
+    "erdos_renyi",
+    "powerlaw_degree_sequence",
+    "powerlaw_follower_graph",
+    "preferential_follower_graph",
+    "read_follower_graph",
+    "read_friendship_graph",
+    "ring_of_cliques",
+    "write_graph",
+]

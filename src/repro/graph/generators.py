@@ -1,0 +1,259 @@
+"""Random social-graph generators.
+
+The original traces are not redistributable, so the datasets subpackage
+synthesises statistically matched substitutes; the graph half of that job
+lives here.  Both OSN graphs in the paper have heavy-tailed degree
+distributions (Fig. 2), which preferential attachment reproduces.
+
+All generators take an explicit :class:`random.Random` so that every
+experiment is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.graph.social_graph import FollowerGraph, SocialGraph
+
+
+def barabasi_albert(
+    num_users: int, edges_per_user: int, rng: random.Random
+) -> SocialGraph:
+    """Undirected preferential-attachment graph (Barabási–Albert).
+
+    Each arriving node attaches to ``edges_per_user`` distinct existing
+    nodes chosen proportionally to their current degree, yielding a
+    power-law degree distribution with average degree ≈
+    ``2 * edges_per_user`` — the Facebook-like friendship graph.
+
+    Args:
+        num_users: total number of nodes; must exceed ``edges_per_user``.
+        edges_per_user: attachment edges added per arriving node (>= 1).
+        rng: seeded random source.
+    """
+    if edges_per_user < 1:
+        raise ValueError("edges_per_user must be >= 1")
+    if num_users <= edges_per_user:
+        raise ValueError("num_users must exceed edges_per_user")
+
+    graph = SocialGraph()
+    # Seed clique keeps early attachment well-defined.
+    seed_size = edges_per_user + 1
+    for u in range(seed_size):
+        graph.add_user(u)
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            graph.add_edge(u, v)
+
+    # repeated_nodes holds one entry per edge endpoint: sampling uniformly
+    # from it is sampling proportionally to degree.
+    repeated_nodes: List[int] = []
+    for u, v in graph.edges():
+        repeated_nodes.append(u)
+        repeated_nodes.append(v)
+
+    for new in range(seed_size, num_users):
+        targets: set[int] = set()
+        while len(targets) < edges_per_user:
+            targets.add(rng.choice(repeated_nodes))
+        graph.add_user(new)
+        for t in targets:
+            graph.add_edge(new, t)
+            repeated_nodes.append(new)
+            repeated_nodes.append(t)
+    return graph
+
+
+def erdos_renyi(num_users: int, edge_prob: float, rng: random.Random) -> SocialGraph:
+    """Uniform random graph G(n, p) — used in tests and as a homogeneous
+    baseline topology (no degree heavy tail)."""
+    if not 0 <= edge_prob <= 1:
+        raise ValueError("edge_prob must be in [0, 1]")
+    graph = SocialGraph()
+    for u in range(num_users):
+        graph.add_user(u)
+    for u in range(num_users):
+        for v in range(u + 1, num_users):
+            if rng.random() < edge_prob:
+                graph.add_edge(u, v)
+    return graph
+
+
+def preferential_follower_graph(
+    num_users: int, follows_per_user: int, rng: random.Random
+) -> FollowerGraph:
+    """Directed preferential-attachment follower graph (Twitter-like).
+
+    Each arriving user follows ``follows_per_user`` existing users chosen
+    proportionally to their current follower count (plus one, so fresh
+    users can be discovered), producing a heavy-tailed *follower*
+    distribution while out-degree stays near-constant — the empirical shape
+    of Twitter's graph.  Average follower count ≈ ``follows_per_user``.
+    """
+    if follows_per_user < 1:
+        raise ValueError("follows_per_user must be >= 1")
+    if num_users <= follows_per_user:
+        raise ValueError("num_users must exceed follows_per_user")
+
+    graph = FollowerGraph()
+    seed_size = follows_per_user + 1
+    for u in range(seed_size):
+        graph.add_user(u)
+    for u in range(seed_size):
+        for v in range(seed_size):
+            if u != v:
+                graph.add_follow(u, v)
+
+    # One entry per (follower-of) credit plus one base entry per user.
+    attractiveness: List[int] = []
+    for u in range(seed_size):
+        attractiveness.append(u)
+        attractiveness.extend([u] * len(graph.followers(u)))
+
+    for new in range(seed_size, num_users):
+        graph.add_user(new)
+        targets: set[int] = set()
+        while len(targets) < follows_per_user:
+            candidate = rng.choice(attractiveness)
+            if candidate != new:
+                targets.add(candidate)
+        for t in targets:
+            graph.add_follow(new, t)
+            attractiveness.append(t)
+        attractiveness.append(new)
+    return graph
+
+
+def powerlaw_degree_sequence(
+    num_users: int,
+    alpha: float,
+    rng: random.Random,
+    *,
+    min_degree: int = 1,
+    max_degree: int | None = None,
+) -> List[int]:
+    """Sample a discrete power-law degree sequence ``P(d) ∝ d^-alpha``.
+
+    Degrees are drawn by inverse-CDF sampling on ``[min_degree,
+    max_degree]`` and the sequence sum is made even (required by the
+    configuration model) by bumping one entry.  Both OSN degree
+    distributions in the paper (Fig. 2) are heavy-tailed with mass at very
+    low degrees, which Barabási–Albert (minimum degree = m) cannot produce;
+    this sequence can.
+    """
+    if alpha <= 1:
+        raise ValueError("alpha must be > 1 for a normalisable power law")
+    if min_degree < 1:
+        raise ValueError("min_degree must be >= 1")
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(round(num_users ** 0.75)))
+    if max_degree <= min_degree:
+        raise ValueError("max_degree must exceed min_degree")
+
+    support = range(min_degree, max_degree + 1)
+    weights = [d ** (-alpha) for d in support]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc / total)
+
+    degrees: List[int] = []
+    for _ in range(num_users):
+        r = rng.random()
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < r:
+                lo = mid + 1
+            else:
+                hi = mid
+        degrees.append(min_degree + lo)
+    if sum(degrees) % 2:
+        degrees[rng.randrange(num_users)] += 1
+    return degrees
+
+
+def configuration_graph(degrees: List[int], rng: random.Random) -> SocialGraph:
+    """Configuration-model graph realising (approximately) ``degrees``.
+
+    Stubs are shuffled and paired; self-loops and duplicate edges are
+    discarded, so realised degrees can fall slightly short of the target —
+    the standard simple-graph projection.  The heavy tail and the low-degree
+    mass of the input sequence survive, which is all the experiments need.
+    """
+    stubs: List[int] = []
+    for user, degree in enumerate(degrees):
+        stubs.extend([user] * degree)
+    rng.shuffle(stubs)
+    graph = SocialGraph()
+    for user in range(len(degrees)):
+        graph.add_user(user)
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def powerlaw_follower_graph(
+    num_users: int,
+    alpha: float,
+    rng: random.Random,
+    *,
+    min_followers: int = 1,
+    max_followers: int | None = None,
+) -> FollowerGraph:
+    """Directed graph whose *follower* counts follow a power law.
+
+    Each user's follower count is drawn from the power-law sequence; the
+    followers themselves are sampled uniformly from the other users (out-
+    degree then concentrates around the mean, matching Twitter's shape:
+    heavy-tailed in-degree, thin-tailed out-degree).
+    """
+    counts = powerlaw_degree_sequence(
+        num_users,
+        alpha,
+        rng,
+        min_degree=min_followers,
+        max_degree=max_followers,
+    )
+    graph = FollowerGraph()
+    for user in range(num_users):
+        graph.add_user(user)
+    population = range(num_users)
+    for user, count in enumerate(counts):
+        count = min(count, num_users - 1)
+        picked: set[int] = set()
+        while len(picked) < count:
+            f = rng.choice(population)
+            if f != user:
+                picked.add(f)
+        for f in picked:
+            graph.add_follow(f, user)
+    return graph
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> SocialGraph:
+    """Deterministic clustered topology: ``num_cliques`` cliques joined in a
+    ring by single bridge edges.  Handy in tests where exact degrees and
+    communities must be known in advance."""
+    if num_cliques < 1 or clique_size < 2:
+        raise ValueError("need at least one clique of size >= 2")
+    graph = SocialGraph()
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            graph.add_user(base + i)
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                graph.add_edge(base + i, base + j)
+    if num_cliques > 1:
+        for c in range(num_cliques):
+            a = c * clique_size
+            b = ((c + 1) % num_cliques) * clique_size
+            if a != b:
+                graph.add_edge(a, b)
+    return graph

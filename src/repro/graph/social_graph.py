@@ -1,0 +1,244 @@
+"""Social graph data structures.
+
+Two graph flavours appear in the study:
+
+* a **friendship graph** (Facebook) — undirected; a user's profile may be
+  replicated on any of his *friends*;
+* a **follower graph** (Twitter) — directed; a user's profile is replicated
+  on his *followers*, since the dominant information flow is user →
+  followers (paper §IV-A2).
+
+Both expose the same minimal interface the placement and evaluation layers
+need: :meth:`replica_candidates` (the set ``NG_u`` of nodes trusted to hold
+``u``'s replica) and :meth:`degree` (the paper's "user degree": number of
+friends resp. followers).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+UserId = int
+
+
+class SocialGraph:
+    """An undirected friendship graph (the Facebook case).
+
+    Nodes are integer user ids.  Self-loops are rejected; parallel edges are
+    collapsed.  The structure is mutable while a dataset is being built and
+    is then used read-only by the algorithms.
+    """
+
+    directed: bool = False
+
+    def __init__(self) -> None:
+        self._adj: Dict[UserId, Set[UserId]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_user(self, user: UserId) -> None:
+        """Ensure ``user`` exists (possibly with no edges)."""
+        self._adj.setdefault(user, set())
+
+    def add_edge(self, u: UserId, v: UserId) -> None:
+        """Add the friendship ``u — v`` (idempotent)."""
+        if u == v:
+            raise ValueError(f"self-loop on user {u} is not a friendship")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_user(self, user: UserId) -> None:
+        """Remove ``user`` and all incident edges."""
+        for other in self._adj.pop(user, set()):
+            self._adj[other].discard(user)
+
+    # -- queries --------------------------------------------------------------
+
+    def __contains__(self, user: UserId) -> bool:
+        return user in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def users(self) -> Iterator[UserId]:
+        return iter(self._adj)
+
+    @property
+    def num_users(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def neighbors(self, user: UserId) -> FrozenSet[UserId]:
+        """The friends of ``user``."""
+        return frozenset(self._adj[user])
+
+    def has_edge(self, u: UserId, v: UserId) -> bool:
+        return v in self._adj.get(u, ())
+
+    def replica_candidates(self, user: UserId) -> FrozenSet[UserId]:
+        """Nodes trusted to host ``user``'s profile replica (his friends)."""
+        return self.neighbors(user)
+
+    def degree(self, user: UserId) -> int:
+        """The paper's *user degree*: number of friends."""
+        return len(self._adj[user])
+
+    # -- statistics -----------------------------------------------------------
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map degree → number of users with that degree (paper Fig. 2)."""
+        return dict(Counter(len(nbrs) for nbrs in self._adj.values()))
+
+    def average_degree(self) -> float:
+        if not self._adj:
+            return 0.0
+        return sum(len(nbrs) for nbrs in self._adj.values()) / len(self._adj)
+
+    def users_with_degree(
+        self, degree: int, *, max_degree: int | None = None
+    ) -> List[UserId]:
+        """Users whose degree equals ``degree`` (or lies in
+        ``[degree, max_degree]`` when ``max_degree`` is given) — the paper's
+        cohort selection (degree-10 users; degree 1..10 for Fig. 9)."""
+        hi = degree if max_degree is None else max_degree
+        return sorted(
+            u for u, nbrs in self._adj.items() if degree <= len(nbrs) <= hi
+        )
+
+    # -- transforms ------------------------------------------------------------
+
+    def subgraph(self, keep: Iterable[UserId]) -> "SocialGraph":
+        """The induced subgraph on ``keep`` (used by the trace filters)."""
+        keep_set = set(keep)
+        sub = SocialGraph()
+        for user in keep_set:
+            if user in self._adj:
+                sub.add_user(user)
+        for user in sub.users():
+            for other in self._adj[user]:
+                if other in keep_set and other > user:
+                    sub.add_edge(user, other)
+        return sub
+
+    def edges(self) -> Iterator[Tuple[UserId, UserId]]:
+        """Each undirected edge once, as ``(min, max)``."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+
+class FollowerGraph:
+    """A directed follower graph (the Twitter case).
+
+    An edge ``u → v`` means *u follows v*.  Replicas of ``v``'s profile are
+    placed on ``v``'s followers; ``v``'s "degree" is his follower count.
+    """
+
+    directed: bool = True
+
+    def __init__(self) -> None:
+        self._followers: Dict[UserId, Set[UserId]] = {}
+        self._followees: Dict[UserId, Set[UserId]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_user(self, user: UserId) -> None:
+        self._followers.setdefault(user, set())
+        self._followees.setdefault(user, set())
+
+    def add_follow(self, follower: UserId, followee: UserId) -> None:
+        """Record that ``follower`` follows ``followee`` (idempotent)."""
+        if follower == followee:
+            raise ValueError(f"user {follower} cannot follow himself")
+        self.add_user(follower)
+        self.add_user(followee)
+        self._followers[followee].add(follower)
+        self._followees[follower].add(followee)
+
+    def remove_user(self, user: UserId) -> None:
+        for f in self._followers.pop(user, set()):
+            self._followees[f].discard(user)
+        for f in self._followees.pop(user, set()):
+            self._followers[f].discard(user)
+
+    # -- queries -------------------------------------------------------------------
+
+    def __contains__(self, user: UserId) -> bool:
+        return user in self._followers
+
+    def __len__(self) -> int:
+        return len(self._followers)
+
+    def users(self) -> Iterator[UserId]:
+        return iter(self._followers)
+
+    @property
+    def num_users(self) -> int:
+        return len(self._followers)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(f) for f in self._followers.values())
+
+    def followers(self, user: UserId) -> FrozenSet[UserId]:
+        """Users following ``user`` (the replica candidates)."""
+        return frozenset(self._followers[user])
+
+    def followees(self, user: UserId) -> FrozenSet[UserId]:
+        """Users that ``user`` follows."""
+        return frozenset(self._followees[user])
+
+    def has_follow(self, follower: UserId, followee: UserId) -> bool:
+        return followee in self._followees.get(follower, ())
+
+    def replica_candidates(self, user: UserId) -> FrozenSet[UserId]:
+        """Nodes trusted to host ``user``'s profile replica (followers)."""
+        return self.followers(user)
+
+    def degree(self, user: UserId) -> int:
+        """The paper's *user degree* for Twitter: follower count."""
+        return len(self._followers[user])
+
+    # -- statistics ------------------------------------------------------------------
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map follower-count → number of users (paper Fig. 2, Twitter)."""
+        return dict(Counter(len(f) for f in self._followers.values()))
+
+    def average_degree(self) -> float:
+        if not self._followers:
+            return 0.0
+        return sum(len(f) for f in self._followers.values()) / len(self._followers)
+
+    def users_with_degree(
+        self, degree: int, *, max_degree: int | None = None
+    ) -> List[UserId]:
+        hi = degree if max_degree is None else max_degree
+        return sorted(
+            u for u, f in self._followers.items() if degree <= len(f) <= hi
+        )
+
+    # -- transforms ---------------------------------------------------------------------
+
+    def subgraph(self, keep: Iterable[UserId]) -> "FollowerGraph":
+        keep_set = set(keep)
+        sub = FollowerGraph()
+        for user in keep_set:
+            if user in self._followers:
+                sub.add_user(user)
+        for followee in sub.users():
+            for follower in self._followers[followee]:
+                if follower in keep_set:
+                    sub.add_follow(follower, followee)
+        return sub
+
+    def edges(self) -> Iterator[Tuple[UserId, UserId]]:
+        """Each follow edge as ``(follower, followee)``."""
+        for followee, followers in self._followers.items():
+            for follower in followers:
+                yield (follower, followee)

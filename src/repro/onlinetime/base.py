@@ -1,0 +1,59 @@
+"""Online-time model interface.
+
+The datasets record *when users acted*, not when they were online; the
+paper bridges the gap with three models (§IV-C) that map a user's activity
+history to a daily online schedule.  Each model implements
+:class:`OnlineTimeModel`; :func:`compute_schedules` evaluates one model
+over a whole dataset deterministically.
+
+Randomised models (Sporadic's in-session placement, RandomLength's window
+length) draw from a per-user RNG derived from ``(seed, user_id)``, so a
+user's schedule is independent of dict iteration order and two runs with
+the same seed agree exactly — while the paper's repeat-and-average protocol
+is a simple loop over seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict
+
+from repro.datasets.schema import Dataset
+from repro.graph.social_graph import UserId
+from repro.timeline.intervals import IntervalSet
+
+Schedules = Dict[UserId, IntervalSet]
+
+
+def user_rng(seed: int, user: UserId) -> random.Random:
+    """A reproducible per-user random source.
+
+    CPython hashes of int tuples are deterministic (PYTHONHASHSEED only
+    randomises str/bytes), so this is stable across processes.
+    """
+    return random.Random(hash((seed, user)))
+
+
+class OnlineTimeModel(ABC):
+    """Maps one user's activity history to a daily online schedule."""
+
+    #: Short name used in reports and the model registry.
+    name: str = "abstract"
+
+    @abstractmethod
+    def schedule(self, user: UserId, dataset: Dataset, seed: int) -> IntervalSet:
+        """The daily online schedule of ``user`` under this model."""
+
+    def describe(self) -> str:
+        """One-line human-readable parameterisation."""
+        return self.name
+
+
+def compute_schedules(
+    dataset: Dataset, model: OnlineTimeModel, *, seed: int = 0
+) -> Schedules:
+    """Evaluate ``model`` for every user in the dataset."""
+    return {
+        user: model.schedule(user, dataset, seed) for user in dataset.graph.users()
+    }

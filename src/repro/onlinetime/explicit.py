@@ -1,0 +1,96 @@
+"""Explicit session logs as an online-time source.
+
+The three paper models *infer* online times from activity timestamps
+because the OSN traces carry no session information.  Availability studies
+of F2F systems (e.g. the instant-messaging trace used by Sharma et al.,
+P2P'11 — the paper's reference [19]) do have real login/logout logs; this
+model consumes them directly, so the whole pipeline (placement, metrics,
+simulator) runs unchanged on measured sessions.
+
+Sessions are absolute ``(login, logout)`` second pairs; each is projected
+onto the periodic day and the user's schedule is their union — the same
+daily-periodic convention as the inferred models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.datasets.schema import Dataset
+from repro.graph.io import PathOrFile, open_for_read
+from repro.graph.social_graph import UserId
+from repro.onlinetime.base import OnlineTimeModel
+from repro.timeline.day import DAY_SECONDS, time_of_day
+from repro.timeline.intervals import IntervalSet
+
+SessionLog = Mapping[UserId, Sequence[Tuple[float, float]]]
+
+
+def sessions_to_schedule(sessions: Iterable[Tuple[float, float]]) -> IntervalSet:
+    """Project absolute sessions onto the periodic day and union them.
+
+    A session longer than a full day covers the whole day; otherwise it
+    becomes the (possibly midnight-wrapping) daily interval between its
+    login and logout times-of-day.
+    """
+    pairs: List[Tuple[float, float]] = []
+    for login, logout in sessions:
+        if logout < login:
+            raise ValueError(f"session ends before it starts: {login}..{logout}")
+        if logout - login >= DAY_SECONDS:
+            return IntervalSet.full_day()
+        start = time_of_day(login)
+        pairs.append((start, start + (logout - login)))
+    return IntervalSet(pairs)
+
+
+class ExplicitScheduleModel(OnlineTimeModel):
+    """Daily schedules from measured login/logout sessions."""
+
+    name = "explicit"
+
+    def __init__(self, sessions: SessionLog):
+        self._schedules: Dict[UserId, IntervalSet] = {
+            user: sessions_to_schedule(user_sessions)
+            for user, user_sessions in sessions.items()
+        }
+
+    def schedule(self, user: UserId, dataset: Dataset, seed: int) -> IntervalSet:
+        """The user's measured schedule (empty if he never logged in).
+
+        Deterministic: the seed is ignored — there is nothing to model.
+        """
+        return self._schedules.get(user, IntervalSet.empty())
+
+    def describe(self) -> str:
+        return f"explicit({len(self._schedules)} users)"
+
+
+def load_session_log(source: PathOrFile) -> Dict[UserId, List[Tuple[float, float]]]:
+    """Parse a session log: each line ``user login_ts logout_ts``.
+
+    Comment lines start with ``#``.  Returns the per-user session lists
+    ready for :class:`ExplicitScheduleModel`.
+    """
+    handle, owned = open_for_read(source)
+    try:
+        sessions: Dict[UserId, List[Tuple[float, float]]] = {}
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise ValueError(
+                    f"line {lineno}: expected 'user login logout'"
+                )
+            user, login, logout = int(parts[0]), float(parts[1]), float(parts[2])
+            if logout < login:
+                raise ValueError(
+                    f"line {lineno}: session ends before it starts"
+                )
+            sessions.setdefault(user, []).append((login, logout))
+        return sessions
+    finally:
+        if owned:
+            handle.close()

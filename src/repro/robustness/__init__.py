@@ -1,0 +1,31 @@
+"""Robustness studies beyond the paper's evaluation.
+
+* :mod:`repro.robustness.churn` — placements computed on predicted
+  schedules, evaluated under missed sessions and start-time jitter;
+* :mod:`repro.robustness.core_group` — the §V-C core-group remedy for
+  the update-propagation-delay problem, made measurable.
+"""
+
+from repro.robustness.churn import (
+    ChurnParams,
+    churn_sweep,
+    perturb_schedule,
+    perturb_schedules,
+)
+from repro.robustness.core_group import (
+    core_group_sweep,
+    core_members,
+    extend_schedule,
+    schedules_with_core_extension,
+)
+
+__all__ = [
+    "ChurnParams",
+    "churn_sweep",
+    "core_group_sweep",
+    "core_members",
+    "extend_schedule",
+    "perturb_schedule",
+    "perturb_schedules",
+    "schedules_with_core_extension",
+]

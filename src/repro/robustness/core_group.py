@@ -1,0 +1,99 @@
+"""The paper's core-group remedy for the propagation-delay problem.
+
+§V-C: "In order to reduce the delay, the non-overlapping times among
+profile replicas have to be reduced; this could be achieved with longer
+online times of a certain core group of friends."
+
+This module implements that remedy so it can be measured: the first
+``core_size`` replicas of each user (his *core group*) extend every one
+of their online intervals by ``extra_hours`` (half before, half after —
+growing the shared windows on both sides), and the delay metric is
+recomputed.  :func:`core_group_sweep` produces the delay-vs-extension
+curve, the ablation the paper's suggestion implies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Set, Tuple
+
+from repro.core.evaluation import AggregateMetrics, evaluate_placements
+from repro.core.placement.base import CONREP
+from repro.datasets.schema import Dataset
+from repro.graph.social_graph import UserId
+from repro.onlinetime.base import Schedules
+from repro.timeline.day import HOUR_SECONDS
+from repro.timeline.intervals import IntervalSet
+
+
+def extend_schedule(schedule: IntervalSet, extra_seconds: float) -> IntervalSet:
+    """Grow every interval by ``extra_seconds`` (split before/after).
+
+    An empty schedule stays empty — a node that is never online gains
+    nothing from a longer session it never starts.
+    """
+    if extra_seconds < 0:
+        raise ValueError("extra_seconds must be >= 0")
+    if extra_seconds == 0 or schedule.is_empty:
+        return schedule
+    half = extra_seconds / 2.0
+    return IntervalSet(
+        [(start - half, end + half) for start, end in schedule.intervals]
+    )
+
+
+def core_members(
+    sequences: Mapping[UserId, Sequence[UserId]], core_size: int
+) -> Set[UserId]:
+    """The union of every user's first ``core_size`` replicas.
+
+    Placement order is the policies' preference order, so the prefix is
+    the natural "core group" of each profile.
+    """
+    if core_size < 0:
+        raise ValueError("core_size must be >= 0")
+    members: Set[UserId] = set()
+    for replicas in sequences.values():
+        members.update(replicas[:core_size])
+    return members
+
+
+def schedules_with_core_extension(
+    schedules: Schedules,
+    sequences: Mapping[UserId, Sequence[UserId]],
+    *,
+    core_size: int,
+    extra_hours: float,
+) -> Schedules:
+    """Schedules where core-group members stay online longer."""
+    core = core_members(sequences, core_size)
+    extra = extra_hours * HOUR_SECONDS
+    return {
+        user: extend_schedule(sched, extra) if user in core else sched
+        for user, sched in schedules.items()
+    }
+
+
+def core_group_sweep(
+    dataset: Dataset,
+    schedules: Schedules,
+    sequences: Mapping[UserId, Sequence[UserId]],
+    *,
+    k: int,
+    core_size: int = 2,
+    extra_hours_list: Sequence[float] = (0, 1, 2, 4, 8),
+    mode: str = CONREP,
+) -> List[Tuple[float, AggregateMetrics]]:
+    """Delay (and the availability side effect) vs core-group extension.
+
+    The placement is held fixed — only the core members' online time
+    grows — isolating the effect the paper hypothesises.  Entry 0 (no
+    extension) is the baseline.
+    """
+    results: List[Tuple[float, AggregateMetrics]] = []
+    for extra in extra_hours_list:
+        extended = schedules_with_core_extension(
+            schedules, sequences, core_size=core_size, extra_hours=extra
+        )
+        agg = evaluate_placements(dataset, extended, dict(sequences), k, mode=mode)
+        results.append((extra, agg))
+    return results

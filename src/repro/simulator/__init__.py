@@ -1,0 +1,50 @@
+"""Discrete-event simulator of the decentralized F2F OSN.
+
+The executable counterpart of the closed-form metrics: peer nodes cycle
+online/offline on their model-derived schedules, replicas exchange updates
+by anti-entropy during shared windows (or via a CDN under UnconRep), and
+the trace is replayed as write events while availability, service rates
+and propagation delays are measured empirically.
+"""
+
+from repro.simulator.kernel import EventHandle, SimulationError, Simulator
+from repro.simulator.network import (
+    ConstantLatency,
+    LatencyModel,
+    NoLatency,
+    UniformLatency,
+)
+from repro.simulator.node import (
+    PRIORITY_DEFAULT,
+    PRIORITY_OFFLINE,
+    PRIORITY_ONLINE,
+    PeerNode,
+)
+from repro.simulator.osn import DecentralizedOSN, ReplayConfig
+from repro.simulator.replication import (
+    ProfileReplication,
+    ReplicaStore,
+    Update,
+)
+from repro.simulator.stats import Counter2, SimulationStats
+
+__all__ = [
+    "ConstantLatency",
+    "Counter2",
+    "DecentralizedOSN",
+    "EventHandle",
+    "LatencyModel",
+    "NoLatency",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_OFFLINE",
+    "PRIORITY_ONLINE",
+    "PeerNode",
+    "ProfileReplication",
+    "ReplayConfig",
+    "ReplicaStore",
+    "SimulationError",
+    "SimulationStats",
+    "Simulator",
+    "UniformLatency",
+    "Update",
+]

@@ -1,0 +1,69 @@
+"""Network latency models for replica synchronisation.
+
+The paper's analysis treats update transfer during a shared online window
+as instantaneous — the day-scale waits dominate second-scale transfers.
+The simulator can nevertheless charge a per-update network latency, which
+matters at the margins: an update whose transfer latency outlives the
+shared window is *lost for that window* and must wait for the next one
+(it is retried then, because anti-entropy is state-based).
+
+Models are sampled per transferred update with an explicit RNG, so runs
+stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class LatencyModel(ABC):
+    """Samples one-way transfer latency in seconds."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """One latency draw (seconds, >= 0)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class NoLatency(LatencyModel):
+    """Instantaneous transfer — the paper's implicit model."""
+
+    def sample(self, rng: random.Random) -> float:
+        return 0.0
+
+    def describe(self) -> str:
+        return "no-latency"
+
+
+class ConstantLatency(LatencyModel):
+    """Every transfer takes exactly ``seconds``."""
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError("latency must be >= 0")
+        self.seconds = seconds
+
+    def sample(self, rng: random.Random) -> float:
+        return self.seconds
+
+    def describe(self) -> str:
+        return f"constant({self.seconds:g}s)"
+
+
+class UniformLatency(LatencyModel):
+    """Transfer latency uniform in ``[low, high]`` seconds."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"uniform({self.low:g}s, {self.high:g}s)"

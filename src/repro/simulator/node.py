@@ -1,0 +1,102 @@
+"""Peer nodes cycling online/offline on their daily schedules.
+
+A :class:`PeerNode` owns a daily :class:`~repro.timeline.intervals.
+IntervalSet` schedule and, when attached to a :class:`~repro.simulator.
+kernel.Simulator`, fires *online*/*offline* transitions at every interval
+boundary of every simulated day.  Observers (the OSN runtime's anti-
+entropy and read replay) subscribe to the transitions.
+
+Transition priorities are arranged so that at an instant where a node
+goes online and an activity is delivered, the transition runs first —
+half-open ``[start, end)`` semantics match ``IntervalSet.contains``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.graph.social_graph import UserId
+from repro.simulator.kernel import Simulator
+from repro.timeline.day import DAY_SECONDS
+from repro.timeline.intervals import IntervalSet
+
+#: Event priorities at an identical instant: offline transitions first
+#: (an interval ending at t does not cover t — half-open), then online
+#: transitions (an interval starting at t covers t), then ordinary
+#: deliveries/syncs, which therefore observe the correct node states.
+PRIORITY_OFFLINE = -2
+PRIORITY_ONLINE = -1
+PRIORITY_DEFAULT = 0
+
+TransitionCallback = Callable[["PeerNode"], None]
+
+
+class PeerNode:
+    """One user's machine in the decentralized OSN."""
+
+    def __init__(self, user: UserId, schedule: IntervalSet):
+        self.user = user
+        self.schedule = schedule
+        self.online = False
+        self._on_online: List[TransitionCallback] = []
+        self._on_offline: List[TransitionCallback] = []
+
+    def __repr__(self) -> str:
+        state = "online" if self.online else "offline"
+        return f"PeerNode({self.user}, {state})"
+
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe_online(self, callback: TransitionCallback) -> None:
+        self._on_online.append(callback)
+
+    def subscribe_offline(self, callback: TransitionCallback) -> None:
+        self._on_offline.append(callback)
+
+    # -- schedule-driven lifecycle ------------------------------------------
+
+    def is_scheduled_online(self, time: float) -> bool:
+        """Whether the daily schedule covers the given absolute time."""
+        return self.schedule.contains(time)
+
+    def attach(self, sim: Simulator, days: int) -> None:
+        """Schedule all online/offline transitions for ``days`` days.
+
+        If the schedule covers the simulation start instant the node comes
+        online immediately (via an online event at the start time).
+        """
+        start = sim.now
+        base_day = int(start // DAY_SECONDS)
+        for day in range(base_day, base_day + days + 1):
+            offset = day * DAY_SECONDS
+            for iv_start, iv_end in self.schedule.intervals:
+                t_on = offset + iv_start
+                t_off = offset + iv_end
+                if t_off <= start:
+                    continue
+                if t_on >= start:
+                    sim.schedule_at(
+                        t_on, self._go_online, priority=PRIORITY_ONLINE
+                    )
+                elif not self.online:
+                    # Interval already in progress at attach time.
+                    sim.schedule_at(
+                        start, self._go_online, priority=PRIORITY_ONLINE
+                    )
+                sim.schedule_at(
+                    t_off, self._go_offline, priority=PRIORITY_OFFLINE
+                )
+
+    def _go_online(self) -> None:
+        if self.online:
+            return
+        self.online = True
+        for callback in self._on_online:
+            callback(self)
+
+    def _go_offline(self) -> None:
+        if not self.online:
+            return
+        self.online = False
+        for callback in self._on_offline:
+            callback(self)

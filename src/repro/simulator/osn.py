@@ -1,0 +1,317 @@
+"""The decentralized F2F OSN runtime: trace replay over peer nodes.
+
+This is the executable counterpart of the analytical metrics: given a
+dataset, everyone's daily schedules and a replica placement, it builds one
+:class:`~repro.simulator.node.PeerNode` per user, replays the activity
+trace as wall-post/tweet *write* events against the receivers' replica
+groups, runs owner-seeded anti-entropy whenever replicas share an online
+window, and measures empirically what §II-C defines analytically:
+
+* profile **availability** by periodic sampling;
+* **write service rate** — the availability-on-demand-activity analogue
+  (was some replica online when an activity landed?);
+* **read service rate** — friends attempt a read whenever they come
+  online, approximating availability-on-demand-time;
+* **update propagation delay** — per update, creation to arrival at the
+  last replica (actual) and the receiver's online time inside that window
+  (observed).
+
+With ``use_cdn=True`` the replicas additionally sync through an always-on
+third-party store — the UnconRep regime.
+
+The integration tests cross-validate these empirical numbers against the
+closed-form metrics of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.datasets.schema import Activity, Dataset
+from repro.graph.social_graph import UserId
+from repro.onlinetime.base import Schedules
+from repro.simulator.kernel import Simulator
+from repro.simulator.network import LatencyModel, NoLatency
+from repro.simulator.node import PRIORITY_DEFAULT, PeerNode
+from repro.simulator.replication import ProfileReplication, Update
+from repro.simulator.stats import Counter2, SimulationStats
+from repro.timeline.day import DAY_SECONDS, HOUR_SECONDS
+from repro.timeline.intervals import IntervalSet
+
+Placements = Mapping[UserId, Sequence[UserId]]
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Knobs of a simulation run."""
+
+    #: How many days to simulate.  Activities replay on day 0; extra days
+    #: let in-flight updates finish propagating.
+    days: int = 3
+    #: Availability sampling period in seconds (0 disables sampling).
+    sample_every: float = 900.0
+    #: Replicate through an always-online third party (UnconRep).
+    use_cdn: bool = False
+    #: Whether nodes issue reads of their friends' profiles when they come
+    #: online (read service rate measurement).
+    replay_reads: bool = True
+    #: One-way transfer latency per replicated update (None = instant,
+    #: the paper's implicit model).  A transfer whose latency outlives the
+    #: shared online window is lost for that window and retried at the
+    #: next one.
+    latency: Optional[LatencyModel] = None
+    #: Seed of the latency-sampling RNG.
+    latency_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise ValueError("days must be >= 1")
+        if self.sample_every < 0:
+            raise ValueError("sample_every must be >= 0")
+
+
+class DecentralizedOSN:
+    """A running decentralized OSN instance."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        schedules: Schedules,
+        placements: Placements,
+        *,
+        config: ReplayConfig = ReplayConfig(),
+        tracked_profiles: Optional[Iterable[UserId]] = None,
+    ):
+        self.dataset = dataset
+        self.config = config
+        self.sim = Simulator()
+        self.stats = SimulationStats()
+        self._latency = config.latency or NoLatency()
+        self._instant = isinstance(self._latency, NoLatency)
+        self._net_rng = random.Random(config.latency_seed)
+        #: Updates created so far per profile (read-staleness baseline).
+        self.created_updates: Dict[UserId, int] = {}
+
+        self._tracked: Set[UserId] = (
+            set(tracked_profiles)
+            if tracked_profiles is not None
+            else set(placements)
+        )
+
+        empty = IntervalSet.empty()
+        self.nodes: Dict[UserId, PeerNode] = {
+            user: PeerNode(user, schedules.get(user, empty))
+            for user in dataset.graph.users()
+        }
+
+        #: profile owner → replication group (owner + placed replicas).
+        self.replication: Dict[UserId, ProfileReplication] = {}
+        #: host → profiles whose replica it hosts.
+        self._hosted: Dict[UserId, List[UserId]] = {u: [] for u in self.nodes}
+        for owner, replicas in placements.items():
+            hosts = [owner] + [r for r in replicas if r in self.nodes]
+            self.replication[owner] = ProfileReplication(owner, hosts)
+            for host in hosts:
+                self._hosted[host].append(owner)
+
+        #: CDN shadow store: profile → updates uploaded so far.
+        self._cdn: Dict[UserId, Dict[Tuple[UserId, int], Update]] = {
+            owner: {} for owner in self.replication
+        }
+
+        for node in self.nodes.values():
+            node.subscribe_online(self._on_node_online)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _on_node_online(self, node: PeerNode) -> None:
+        """Anti-entropy on arrival, CDN pull, and read replay."""
+        now = self.sim.now
+        for profile in self._hosted[node.user]:
+            group = self.replication[profile]
+            if self.config.use_cdn:
+                self._sync_with_cdn(group, node.user, now)
+            for other in group.hosts:
+                if other != node.user and self.nodes[other].online:
+                    self._sync_hosts(group, node.user, other)
+        if self.config.replay_reads:
+            self._replay_reads(node)
+
+    def _replay_reads(self, node: PeerNode) -> None:
+        """The arriving user tries to read each tracked friend profile.
+
+        A served read goes to the online replica holding the most
+        updates; the *staleness* of that replica — how many created
+        updates it is missing — is the feed-freshness the reader
+        experiences (driven by the propagation delay, §II-C3).
+        """
+        for profile in self._read_targets(node.user):
+            if profile in self._tracked and profile in self.replication:
+                group = self.replication[profile]
+                online = [h for h in group.hosts if self.nodes[h].online]
+                self.stats.reads.setdefault(profile, Counter2()).record(
+                    bool(online)
+                )
+                if online:
+                    best = max(online, key=lambda h: len(group.store_of(h)))
+                    created = self.created_updates.get(profile, 0)
+                    self.stats.read_staleness.append(
+                        created - len(group.store_of(best))
+                    )
+
+    def _sync_hosts(self, group: ProfileReplication, a: UserId, b: UserId) -> None:
+        """Anti-entropy between two online hosts, through the network."""
+        now = self.sim.now
+        if self._instant:
+            group.sync_pair(a, b, now)
+            return
+        store_a, store_b = group.store_of(a), group.store_of(b)
+        for update in store_a.missing_from(store_b):
+            self._send(group, b, a, update)
+        for update in store_b.missing_from(store_a):
+            self._send(group, a, b, update)
+
+    def _send(
+        self, group: ProfileReplication, src: UserId, dst: UserId, update: Update
+    ) -> None:
+        delay = self._latency.sample(self._net_rng)
+        self.sim.schedule_in(
+            delay, self._deliver, group, dst, update, priority=PRIORITY_DEFAULT
+        )
+
+    def _deliver(
+        self, group: ProfileReplication, dst: UserId, update: Update
+    ) -> None:
+        """Apply a transferred update if the receiver is still online;
+        otherwise the transfer failed for this window (state-based
+        anti-entropy retries at the next shared window)."""
+        if self.nodes[dst].online:
+            group.store_of(dst).apply(update, self.sim.now)
+
+    def _read_targets(self, user: UserId) -> Iterable[UserId]:
+        graph = self.dataset.graph
+        if graph.directed:
+            return graph.followees(user)  # a follower reads his followees
+        return graph.neighbors(user)
+
+    def _sync_with_cdn(
+        self, group: ProfileReplication, host: UserId, now: float
+    ) -> None:
+        store = group.store_of(host)
+        cloud = self._cdn[group.profile]
+        for uid, update in cloud.items():
+            store.apply(update, now)
+        for update in store.updates:
+            cloud.setdefault(update.uid, update)
+
+    def _profile_reachable(self, profile: UserId) -> bool:
+        group = self.replication[profile]
+        return any(self.nodes[h].online for h in group.hosts)
+
+    # -- write path ---------------------------------------------------------------
+
+    def post_activity(self, activity: Activity) -> None:
+        """Deliver one trace activity as a profile write."""
+        profile = activity.receiver
+        if profile not in self.replication:
+            return
+        now = self.sim.now
+        group = self.replication[profile]
+        online_hosts = [h for h in group.hosts if self.nodes[h].online]
+        served = bool(online_hosts)
+        if profile in self._tracked:
+            self.stats.writes.setdefault(profile, Counter2()).record(served)
+        if not served:
+            return
+        update = Update(
+            profile=profile,
+            origin=activity.creator,
+            seq=group.next_seq(),
+            created_at=now,
+        )
+        self.created_updates[profile] = self.created_updates.get(profile, 0) + 1
+        # Prefer the owner's own node as entry point when online.
+        entry = profile if profile in online_hosts else online_hosts[0]
+        group.store_of(entry).apply(update, now)
+        # Gossip among currently-online replicas (through the network).
+        for host in online_hosts:
+            if host != entry:
+                self._sync_hosts(group, entry, host)
+        if self.config.use_cdn:
+            self._sync_with_cdn(group, entry, now)
+
+    # -- run ---------------------------------------------------------------------------
+
+    def run(self) -> SimulationStats:
+        """Replay the trace and return the collected statistics."""
+        days = self.config.days
+        for node in self.nodes.values():
+            node.attach(self.sim, days)
+        for act in self.dataset.trace:
+            if act.receiver in self.replication:
+                self.sim.schedule_at(
+                    act.second_of_day,
+                    self.post_activity,
+                    act,
+                    priority=PRIORITY_DEFAULT,
+                )
+        if self.config.sample_every > 0:
+            self.sim.schedule_at(0.0, self._sample_availability, priority=1)
+        self.sim.run(until=days * DAY_SECONDS)
+        self._finalize()
+        return self.stats
+
+    def _sample_availability(self) -> None:
+        for profile in self._tracked:
+            if profile in self.replication:
+                self.stats.availability.setdefault(
+                    profile, Counter2()
+                ).record(self._profile_reachable(profile))
+        next_time = self.sim.now + self.config.sample_every
+        if next_time < self.config.days * DAY_SECONDS:
+            self.sim.schedule_at(
+                next_time, self._sample_availability, priority=1
+            )
+
+    def _finalize(self) -> None:
+        """Derive propagation-delay and consistency statistics."""
+        stats = self.stats
+        for group in self.replication.values():
+            tracked = group.profile in self._tracked
+            all_updates = {}
+            for store in group.stores.values():
+                for update in store.updates:
+                    all_updates[update.uid] = update
+            owner_store = group.stores.get(group.profile)
+            for uid, update in all_updates.items():
+                if tracked and owner_store is not None:
+                    owner_arrival = owner_store.arrival_times.get(uid)
+                    if owner_arrival is None:
+                        stats.undelivered_to_owner += 1
+                    else:
+                        stats.owner_delivery_delays_hours.append(
+                            (owner_arrival - update.created_at) / HOUR_SECONDS
+                        )
+                done_at = group.full_replication_time(uid)
+                if done_at is None:
+                    stats.incomplete_updates += 1
+                    continue
+                if not tracked:
+                    continue
+                delay = done_at - update.created_at
+                stats.propagation_delays_hours.append(delay / HOUR_SECONDS)
+                for host, store in group.stores.items():
+                    arrived = store.arrival_times.get(uid)
+                    if arrived is None or arrived == update.created_at:
+                        continue
+                    online_inside = self.nodes[host].schedule.measure_in_span(
+                        update.created_at, arrived
+                    )
+                    stats.observed_delays_hours.append(
+                        online_inside / HOUR_SECONDS
+                    )
+            stats.tracked_profiles += 1
+            if group.is_consistent():
+                stats.consistent_profiles += 1

@@ -1,0 +1,144 @@
+"""Profile replicas: update logs, version vectors, eventual consistency.
+
+Each user's profile is an append-only log of updates (wall posts / tweets
+landing on the profile).  Every replica — including the owner's own copy —
+holds a :class:`ReplicaStore` with the subset of updates it has seen,
+summarised by a version vector (origin → highest contiguous sequence
+number).  Anti-entropy between two online replicas exchanges exactly the
+missing updates in both directions, which gives eventual consistency: once
+every pair of replicas has shared an online window after the last write,
+all stores converge (property-tested in the suite).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.social_graph import UserId
+
+
+@dataclass(frozen=True)
+class Update:
+    """One profile update: ``origin``'s ``seq``-th write to ``profile``."""
+
+    profile: UserId
+    origin: UserId
+    seq: int
+    created_at: float
+    payload: str = ""
+
+    @property
+    def uid(self) -> Tuple[UserId, int]:
+        """Identity of the update within its profile's log."""
+        return (self.origin, self.seq)
+
+
+class ReplicaStore:
+    """One node's copy of one profile."""
+
+    def __init__(self, profile: UserId, host: UserId):
+        self.profile = profile
+        self.host = host
+        self._updates: Dict[Tuple[UserId, int], Update] = {}
+        #: When each update arrived at this store (simulation time).
+        self.arrival_times: Dict[Tuple[UserId, int], float] = {}
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __contains__(self, uid: Tuple[UserId, int]) -> bool:
+        return uid in self._updates
+
+    @property
+    def updates(self) -> List[Update]:
+        """All stored updates, ordered by creation time then identity."""
+        return sorted(
+            self._updates.values(), key=lambda u: (u.created_at, u.uid)
+        )
+
+    def version_vector(self) -> Dict[UserId, int]:
+        """origin → number of updates held from that origin.
+
+        Anti-entropy exchanges by set difference of update ids, so gaps
+        from out-of-order arrival are harmless; the vector is a summary
+        used for cheap convergence checks.
+        """
+        vv: Dict[UserId, int] = {}
+        for origin, _seq in self._updates:
+            vv[origin] = vv.get(origin, 0) + 1
+        return vv
+
+    def apply(self, update: Update, now: float) -> bool:
+        """Store ``update`` if new; returns whether it was new."""
+        if update.profile != self.profile:
+            raise ValueError(
+                f"update for profile {update.profile} offered to store of "
+                f"profile {self.profile}"
+            )
+        if update.uid in self._updates:
+            return False
+        self._updates[update.uid] = update
+        self.arrival_times[update.uid] = now
+        return True
+
+    def missing_from(self, other: "ReplicaStore") -> List[Update]:
+        """Updates ``other`` holds that this store lacks."""
+        return [
+            u for uid, u in other._updates.items() if uid not in self._updates
+        ]
+
+    def synchronized_with(self, other: "ReplicaStore") -> bool:
+        return set(self._updates) == set(other._updates)
+
+
+class ProfileReplication:
+    """All replica stores of one profile plus its write sequencing."""
+
+    def __init__(self, profile: UserId, hosts: Iterable[UserId]):
+        self.profile = profile
+        self.stores: Dict[UserId, ReplicaStore] = {
+            host: ReplicaStore(profile, host) for host in hosts
+        }
+        self._seq = itertools.count(1)
+
+    @property
+    def hosts(self) -> List[UserId]:
+        return sorted(self.stores)
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    def store_of(self, host: UserId) -> ReplicaStore:
+        return self.stores[host]
+
+    def is_consistent(self) -> bool:
+        """Whether every replica holds the same update set."""
+        stores = list(self.stores.values())
+        return all(
+            stores[0].synchronized_with(other) for other in stores[1:]
+        )
+
+    def sync_pair(self, a: UserId, b: UserId, now: float) -> int:
+        """Bidirectional anti-entropy between two hosts; returns the number
+        of updates transferred."""
+        sa, sb = self.stores[a], self.stores[b]
+        moved = 0
+        for update in sa.missing_from(sb):
+            sa.apply(update, now)
+            moved += 1
+        for update in sb.missing_from(sa):
+            sb.apply(update, now)
+            moved += 1
+        return moved
+
+    def full_replication_time(self, uid: Tuple[UserId, int]) -> Optional[float]:
+        """When the update reached *all* replicas (None if it hasn't)."""
+        times = []
+        for store in self.stores.values():
+            t = store.arrival_times.get(uid)
+            if t is None:
+                return None
+            times.append(t)
+        return max(times)

@@ -1,0 +1,123 @@
+"""Measurement collectors for the OSN simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.graph.social_graph import UserId
+
+
+@dataclass
+class Counter2:
+    """A hits/total pair."""
+
+    hits: int = 0
+    total: int = 0
+
+    def record(self, success: bool) -> None:
+        self.total += 1
+        if success:
+            self.hits += 1
+
+    @property
+    def rate(self) -> float:
+        return self.hits / self.total if self.total else 1.0
+
+
+@dataclass
+class SimulationStats:
+    """Everything the replay measures."""
+
+    #: Per-profile availability sampling (profile reachable at instant?).
+    availability: Dict[UserId, Counter2] = field(default_factory=dict)
+    #: Per-profile write outcomes (activity landed on an online replica?).
+    writes: Dict[UserId, Counter2] = field(default_factory=dict)
+    #: Per-profile read outcomes (friend coming online could reach it?).
+    reads: Dict[UserId, Counter2] = field(default_factory=dict)
+    #: Completed update propagations, in hours (creation → last replica).
+    propagation_delays_hours: List[float] = field(default_factory=list)
+    #: Observed delays: the receiving replica's host online-time inside the
+    #: propagation window, in hours, one entry per (update, replica).
+    observed_delays_hours: List[float] = field(default_factory=list)
+    #: Per served read: number of created updates the serving replica was
+    #: missing (feed staleness as experienced by the reader).
+    read_staleness: List[int] = field(default_factory=list)
+    #: Per update: hours from creation until the profile OWNER's own store
+    #: received it — the time before the owner himself could see activity
+    #: on his profile (paper §II: "the user should receive updates of the
+    #: activities on his profile by his friends while he is offline").
+    owner_delivery_delays_hours: List[float] = field(default_factory=list)
+    #: Updates that never reached the owner's store before the run ended.
+    undelivered_to_owner: int = 0
+    #: Updates that had not reached every replica when the run ended.
+    incomplete_updates: int = 0
+    #: Profiles whose replicas all converged by the end of the run.
+    consistent_profiles: int = 0
+    #: Profiles tracked for consistency.
+    tracked_profiles: int = 0
+
+    def availability_of(self, profile: UserId) -> float:
+        return self.availability.get(profile, Counter2()).rate
+
+    def write_service_rate(self, profile: Optional[UserId] = None) -> float:
+        counters = (
+            [self.writes[profile]]
+            if profile is not None
+            else list(self.writes.values())
+        )
+        hits = sum(c.hits for c in counters)
+        total = sum(c.total for c in counters)
+        return hits / total if total else 1.0
+
+    def read_service_rate(self, profile: Optional[UserId] = None) -> float:
+        counters = (
+            [self.reads[profile]]
+            if profile is not None
+            else list(self.reads.values())
+        )
+        hits = sum(c.hits for c in counters)
+        total = sum(c.total for c in counters)
+        return hits / total if total else 1.0
+
+    @property
+    def mean_owner_delivery_delay_hours(self) -> float:
+        if not self.owner_delivery_delays_hours:
+            return 0.0
+        return sum(self.owner_delivery_delays_hours) / len(
+            self.owner_delivery_delays_hours
+        )
+
+    @property
+    def max_owner_delivery_delay_hours(self) -> float:
+        if not self.owner_delivery_delays_hours:
+            return 0.0
+        return max(self.owner_delivery_delays_hours)
+
+    @property
+    def mean_read_staleness(self) -> float:
+        """Average number of updates missing at the replica that served a
+        read (0 = every read saw a fully fresh profile)."""
+        if not self.read_staleness:
+            return 0.0
+        return sum(self.read_staleness) / len(self.read_staleness)
+
+    @property
+    def max_propagation_delay_hours(self) -> float:
+        if not self.propagation_delays_hours:
+            return 0.0
+        return max(self.propagation_delays_hours)
+
+    @property
+    def mean_propagation_delay_hours(self) -> float:
+        if not self.propagation_delays_hours:
+            return 0.0
+        return sum(self.propagation_delays_hours) / len(
+            self.propagation_delays_hours
+        )
+
+    @property
+    def mean_observed_delay_hours(self) -> float:
+        if not self.observed_delays_hours:
+            return 0.0
+        return sum(self.observed_delays_hours) / len(self.observed_delays_hours)

@@ -1,0 +1,55 @@
+"""Constants and helpers for the periodic 24-hour day timeline.
+
+The paper measures every schedule-derived quantity against a single periodic
+day: availability is "the fraction of time in a day", update propagation
+delays take the form ``24 - overlap`` hours, and online-time models emit one
+daily schedule per user.  All timeline code in this package therefore works
+in *seconds within a day*, i.e. values in ``[0, DAY_SECONDS)``, with
+wrap-around ("midnight") handled explicitly where it matters.
+"""
+
+from __future__ import annotations
+
+#: Number of seconds in one day.  Every :class:`~repro.timeline.intervals.
+#: IntervalSet` lives on the half-open circle ``[0, DAY_SECONDS)``.
+DAY_SECONDS: int = 24 * 60 * 60
+
+#: Number of minutes in one day (the paper's granularity for the Sporadic
+#: model when reporting availability).
+DAY_MINUTES: int = 24 * 60
+
+#: Number of hours in one day.
+DAY_HOURS: int = 24
+
+#: Seconds per hour, for converting delays to the paper's "hours" unit.
+HOUR_SECONDS: int = 60 * 60
+
+#: Seconds per minute.
+MINUTE_SECONDS: int = 60
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert a duration in seconds to hours."""
+    return seconds / HOUR_SECONDS
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert a duration in hours to seconds."""
+    return hours * HOUR_SECONDS
+
+
+def time_of_day(timestamp: float) -> float:
+    """Project an absolute UNIX-style timestamp onto the periodic day.
+
+    Negative timestamps are handled (Python's ``%`` already yields a value
+    in ``[0, DAY_SECONDS)`` for them).
+    """
+    return timestamp % DAY_SECONDS
+
+
+def format_clock(second_of_day: float) -> str:
+    """Render a second-of-day as ``HH:MM:SS`` (useful in reports and logs)."""
+    total = int(second_of_day) % DAY_SECONDS
+    hours, rem = divmod(total, HOUR_SECONDS)
+    minutes, seconds = divmod(rem, MINUTE_SECONDS)
+    return f"{hours:02d}:{minutes:02d}:{seconds:02d}"

@@ -1,0 +1,83 @@
+"""Tests for the Bézier smoothing (gnuplot `smooth bezier` equivalent)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import bezier_curve, de_casteljau, smooth_series
+
+
+class TestDeCasteljau:
+    def test_endpoints(self):
+        control = [1.0, 5.0, 2.0]
+        assert de_casteljau(control, 0.0) == 1.0
+        assert de_casteljau(control, 1.0) == 2.0
+
+    def test_linear_case(self):
+        assert de_casteljau([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_quadratic_midpoint(self):
+        # B(0.5) = 0.25*p0 + 0.5*p1 + 0.25*p2
+        assert de_casteljau([0.0, 4.0, 8.0], 0.5) == pytest.approx(4.0)
+
+    def test_single_point_constant(self):
+        assert de_casteljau([7.0], 0.3) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            de_casteljau([], 0.5)
+        with pytest.raises(ValueError):
+            de_casteljau([1.0], 1.5)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=1, max_size=8
+        ),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_convex_hull_property(self, control, t):
+        value = de_casteljau(control, t)
+        assert min(control) - 1e-9 <= value <= max(control) + 1e-9
+
+
+class TestBezierCurve:
+    def test_interpolates_endpoints(self):
+        points = [(0, 0), (1, 5), (2, 1)]
+        curve = bezier_curve(points, samples=10)
+        assert curve[0] == pytest.approx((0, 0))
+        assert curve[-1] == pytest.approx((2, 1))
+        assert len(curve) == 10
+
+    def test_monotone_x_for_monotone_controls(self):
+        points = [(float(i), float(i * i)) for i in range(6)]
+        curve = bezier_curve(points)
+        xs = [p[0] for p in curve]
+        assert xs == sorted(xs)
+
+    def test_smooths_a_spike(self):
+        # A single spike is attenuated by the global curve.
+        points = [(0, 0), (1, 0), (2, 10), (3, 0), (4, 0)]
+        curve = bezier_curve(points, samples=101)
+        peak = max(y for _, y in curve)
+        assert 0 < peak < 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bezier_curve([(0, 0)])
+        with pytest.raises(ValueError):
+            bezier_curve([(0, 0), (1, 1)], samples=1)
+
+
+class TestSmoothSeries:
+    def test_returns_lists(self):
+        xs, ys = smooth_series([0, 1, 2], [0, 1, 0], samples=5)
+        assert len(xs) == len(ys) == 5
+        assert xs[0] == 0 and xs[-1] == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            smooth_series([0, 1], [0])
+
+    def test_preserves_flat_series(self):
+        _, ys = smooth_series([0, 1, 2, 3], [4, 4, 4, 4])
+        assert all(y == pytest.approx(4) for y in ys)

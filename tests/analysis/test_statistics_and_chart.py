@@ -1,0 +1,155 @@
+"""Tests for summary statistics, bootstrap CIs and ASCII charts."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ascii_chart,
+    bootstrap_ci,
+    chart_from_table,
+    percentile,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9]  # function expects sorted; give sorted
+        assert percentile(sorted(data), 0) == 1
+        assert percentile(sorted(data), 100) == 9
+
+    def test_single(self):
+        assert percentile([7], 34) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.n == 8
+        assert s.mean == pytest.approx(5.0)
+        assert s.std == pytest.approx(2.0)
+        assert s.minimum == 2.0
+        assert s.maximum == 9.0
+        assert s.median == pytest.approx(4.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_ordering_invariants(self, values):
+        s = summarize(values)
+        eps = 1e-6 * max(1.0, abs(s.maximum), abs(s.minimum))
+        assert s.minimum - eps <= s.p10 <= s.median + eps
+        assert s.median - eps <= s.p90 <= s.maximum + eps
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_for_tight_sample(self):
+        values = [10.0] * 30
+        lo, hi = bootstrap_ci(values, rng=random.Random(1))
+        assert lo == hi == 10.0
+
+    def test_interval_ordering_and_coverage(self):
+        rng = random.Random(2)
+        values = [rng.gauss(5, 1) for _ in range(100)]
+        lo, hi = bootstrap_ci(values, n_boot=500, rng=random.Random(3))
+        assert lo < hi
+        mean = sum(values) / len(values)
+        assert lo < mean < hi
+
+    def test_custom_stat(self):
+        values = [1.0, 2.0, 3.0, 100.0]
+        lo, hi = bootstrap_ci(
+            values,
+            stat=lambda v: sorted(v)[len(v) // 2],
+            n_boot=300,
+            rng=random.Random(4),
+        )
+        assert lo <= hi
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_deterministic_with_rng(self):
+        values = [1.0, 5.0, 3.0, 8.0]
+        a = bootstrap_ci(values, n_boot=200, rng=random.Random(7))
+        b = bootstrap_ci(values, n_boot=200, rng=random.Random(7))
+        assert a == b
+
+
+class TestAsciiChart:
+    def test_renders_glyphs_and_legend(self):
+        chart = ascii_chart(
+            {"up": [(0, 0), (1, 1), (2, 2)], "down": [(0, 2), (1, 1), (2, 0)]},
+            width=20,
+            height=8,
+            title="trends",
+        )
+        assert "trends" in chart
+        assert "*" in chart and "+" in chart
+        assert "* up" in chart and "+ down" in chart
+
+    def test_axis_labels_show_range(self):
+        chart = ascii_chart({"s": [(0, 0), (10, 5)]}, width=20, height=6)
+        assert "10" in chart
+        assert "5" in chart
+
+    def test_skips_non_finite(self):
+        chart = ascii_chart(
+            {"s": [(0, 1), (1, math.inf), (2, 2)]}, width=10, height=5
+        )
+        assert chart  # renders without error
+
+    def test_flat_series(self):
+        chart = ascii_chart({"s": [(0, 3), (1, 3)]}, width=10, height=5)
+        assert "*" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, math.nan)]})
+
+
+class TestChartFromTable:
+    def test_table_to_chart(self):
+        chart = chart_from_table(
+            ("degree", "maxav", "random"),
+            [(0, 0.1, 0.1), (5, 0.8, 0.6), (10, 0.9, 0.9)],
+            title="availability",
+        )
+        assert "availability" in chart
+        assert "maxav" in chart
+        assert "degree" in chart
+
+    def test_none_cells_skipped(self):
+        chart = chart_from_table(
+            ("x", "a"),
+            [(0, 1.0), (1, None), (2, 3.0)],
+        )
+        assert "a" in chart
+
+    def test_needs_series_column(self):
+        with pytest.raises(ValueError):
+            chart_from_table(("x",), [(1,)])

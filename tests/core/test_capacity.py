@@ -1,0 +1,88 @@
+"""Tests for capacity-constrained network-wide placement."""
+
+import functools
+
+import pytest
+
+from repro.core import (
+    CONREP,
+    make_policy,
+    place_network,
+    placement_sequences,
+)
+from repro.core.fairness import hosting_load
+from repro.datasets import synthetic_facebook
+from repro.onlinetime import SporadicModel, compute_schedules
+
+
+@functools.lru_cache(maxsize=1)
+def _setup():
+    ds = synthetic_facebook(600, seed=51)
+    schedules = compute_schedules(ds, SporadicModel(), seed=0)
+    return ds, schedules
+
+
+class TestPlaceNetwork:
+    def test_unlimited_matches_placement_sequences(self):
+        ds, schedules = _setup()
+        users = sorted(ds.graph.users())[:50]
+        policy = make_policy("maxav")
+        a = place_network(
+            ds, schedules, policy, k=3, users=users, seed=4
+        )
+        b = placement_sequences(
+            ds, schedules, users, policy, mode=CONREP, max_degree=3, seed=4
+        )
+        assert a == b
+
+    def test_capacity_respected(self):
+        ds, schedules = _setup()
+        for capacity in (1, 2, 5):
+            placements = place_network(
+                ds,
+                schedules,
+                make_policy("maxav"),
+                k=3,
+                capacity=capacity,
+                seed=0,
+            )
+            load = hosting_load(placements)
+            assert max(load.values(), default=0) <= capacity
+
+    def test_tight_capacity_reduces_placements(self):
+        ds, schedules = _setup()
+        free = place_network(
+            ds, schedules, make_policy("maxav"), k=3, seed=0
+        )
+        tight = place_network(
+            ds, schedules, make_policy("maxav"), k=3, capacity=1, seed=0
+        )
+        total_free = sum(len(r) for r in free.values())
+        total_tight = sum(len(r) for r in tight.values())
+        assert total_tight < total_free
+
+    def test_validation(self):
+        ds, schedules = _setup()
+        with pytest.raises(ValueError):
+            place_network(
+                ds, schedules, make_policy("maxav"), k=3, capacity=0
+            )
+        with pytest.raises(ValueError):
+            place_network(ds, schedules, make_policy("maxav"), k=-1)
+
+    def test_deterministic(self):
+        ds, schedules = _setup()
+        a = place_network(
+            ds, schedules, make_policy("random"), k=2, capacity=3, seed=9
+        )
+        b = place_network(
+            ds, schedules, make_policy("random"), k=2, capacity=3, seed=9
+        )
+        assert a == b
+
+    def test_every_user_placed(self):
+        ds, schedules = _setup()
+        placements = place_network(
+            ds, schedules, make_policy("mostactive"), k=2, capacity=4, seed=1
+        )
+        assert set(placements) == set(ds.graph.users())

@@ -1,0 +1,182 @@
+"""Tests for the replica time-connectivity graph and delay metrics.
+
+Includes the paper's own worked example (Fig. 1): three replicas v1, v2,
+v3 where v1 overlaps v2 by d1 hours, v2 overlaps v3 by d2 hours, and v1
+does not overlap v3 — the update propagation delay must come out at
+48 − d1 − d2 hours.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ReplicaGroup,
+    actual_propagation_delay_hours,
+    connectivity_edges,
+    is_connected,
+    observed_propagation_delay_hours,
+    shortest_path_lengths,
+    unconrep_propagation_delay_hours,
+)
+from repro.timeline import DAY_SECONDS, HOUR_SECONDS, IntervalSet
+
+
+def _hours(start, end):
+    return IntervalSet([(start * HOUR_SECONDS, end * HOUR_SECONDS)])
+
+
+def _group(owner_sched, replica_scheds):
+    schedules = {0: owner_sched}
+    replicas = []
+    for i, sched in enumerate(replica_scheds, start=1):
+        schedules[i] = sched
+        replicas.append(i)
+    return ReplicaGroup(owner=0, replicas=tuple(replicas), schedules=schedules)
+
+
+class TestReplicaGroup:
+    def test_members_include_owner_first(self):
+        g = _group(_hours(0, 1), [_hours(1, 2)])
+        assert g.members == (0, 1)
+        assert g.replication_degree == 1
+
+    def test_union_schedule(self):
+        g = _group(_hours(0, 1), [_hours(2, 3)])
+        assert g.union_schedule().measure == 2 * HOUR_SECONDS
+
+    def test_missing_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaGroup(owner=0, replicas=(1,), schedules={0: _hours(0, 1)})
+
+    def test_owner_listed_as_replica_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaGroup(
+                owner=0, replicas=(0,), schedules={0: _hours(0, 1)}
+            )
+
+
+class TestConnectivityEdges:
+    def test_edge_weight_is_day_minus_overlap(self):
+        g = _group(_hours(0, 4), [_hours(2, 6)])  # overlap 2h
+        edges = connectivity_edges(g)
+        assert edges[0][1] == DAY_SECONDS - 2 * HOUR_SECONDS
+        assert edges[1][0] == edges[0][1]
+
+    def test_no_edge_without_overlap(self):
+        g = _group(_hours(0, 2), [_hours(5, 7)])
+        edges = connectivity_edges(g)
+        assert edges[0] == {}
+        assert edges[1] == {}
+
+
+class TestShortestPaths:
+    def test_direct_and_multi_hop(self):
+        edges = {0: {1: 5.0}, 1: {0: 5.0, 2: 7.0}, 2: {1: 7.0}}
+        dist = shortest_path_lengths(edges, 0)
+        assert dist == {0: 0.0, 1: 5.0, 2: 12.0}
+
+    def test_unreachable_is_inf(self):
+        edges = {0: {}, 1: {}}
+        dist = shortest_path_lengths(edges, 0)
+        assert dist[1] == math.inf
+
+    def test_prefers_cheaper_indirect_path(self):
+        edges = {
+            0: {1: 10.0, 2: 1.0},
+            1: {0: 10.0, 2: 1.0},
+            2: {0: 1.0, 1: 1.0},
+        }
+        dist = shortest_path_lengths(edges, 0)
+        assert dist[1] == 2.0
+
+
+class TestIsConnected:
+    def test_chain_is_connected(self):
+        g = _group(_hours(0, 3), [_hours(2, 5), _hours(4, 7)])
+        assert is_connected(g)
+
+    def test_disconnected_group(self):
+        g = _group(_hours(0, 1), [_hours(10, 11)])
+        assert not is_connected(g)
+
+    def test_singleton_connected(self):
+        g = _group(_hours(0, 1), [])
+        assert is_connected(g)
+
+
+class TestActualDelay:
+    def test_paper_fig1_example(self):
+        # v1 = owner [0,4], v2 [3,8] (d1 = 1h), v3 [7,10] (d2 = 1h),
+        # v1 and v3 do not overlap.
+        g = _group(_hours(0, 4), [_hours(3, 8), _hours(7, 10)])
+        d1 = d2 = 1
+        expected = 48 - d1 - d2
+        assert actual_propagation_delay_hours(g) == pytest.approx(expected)
+
+    def test_single_member_zero(self):
+        assert actual_propagation_delay_hours(_group(_hours(0, 1), [])) == 0.0
+
+    def test_two_members(self):
+        g = _group(_hours(0, 4), [_hours(2, 6)])  # overlap 2h
+        assert actual_propagation_delay_hours(g) == pytest.approx(22.0)
+
+    def test_disconnected_is_inf(self):
+        g = _group(_hours(0, 1), [_hours(10, 11)])
+        assert actual_propagation_delay_hours(g) == math.inf
+
+    def test_more_overlap_less_delay(self):
+        small = _group(_hours(0, 4), [_hours(3, 7)])  # 1h overlap
+        big = _group(_hours(0, 4), [_hours(1, 5)])  # 3h overlap
+        assert actual_propagation_delay_hours(big) < actual_propagation_delay_hours(
+            small
+        )
+
+    def test_triangle_uses_shortest_paths(self):
+        # All three pairwise overlap 1h -> direct edges of 23h each; the
+        # diameter is a single edge, not a 2-hop path.
+        g = _group(
+            _hours(0, 2),
+            [_hours(1, 3), _hours(1.5, 2.5)],
+        )
+        assert actual_propagation_delay_hours(g) <= 23.5
+
+
+class TestObservedDelay:
+    def test_observed_leq_actual(self):
+        g = _group(_hours(0, 4), [_hours(3, 8), _hours(7, 10)])
+        assert observed_propagation_delay_hours(g) <= actual_propagation_delay_hours(
+            g
+        )
+
+    def test_observed_counts_only_online_time(self):
+        # Actual delay 22h; receiver online 4h/day -> observed at most 4h.
+        g = _group(_hours(0, 4), [_hours(2, 6)])
+        assert observed_propagation_delay_hours(g) <= 4.0
+        assert observed_propagation_delay_hours(g) > 0.0
+
+    def test_singleton_zero(self):
+        assert observed_propagation_delay_hours(_group(_hours(0, 1), [])) == 0.0
+
+    def test_disconnected_inf(self):
+        g = _group(_hours(0, 1), [_hours(10, 11)])
+        assert observed_propagation_delay_hours(g) == math.inf
+
+
+class TestUnconRepDelay:
+    def test_sum_of_waits(self):
+        # Owner online 4h (wait 20h), replica online 2h (wait 22h).
+        g = _group(_hours(0, 4), [_hours(10, 12)])
+        assert unconrep_propagation_delay_hours(g) == pytest.approx(42.0)
+
+    def test_singleton_zero(self):
+        assert unconrep_propagation_delay_hours(_group(_hours(0, 1), [])) == 0.0
+
+    def test_never_online_member_inf(self):
+        g = _group(_hours(0, 1), [IntervalSet.empty()])
+        assert unconrep_propagation_delay_hours(g) == math.inf
+
+    def test_unconrep_can_beat_conrep_when_disconnected(self):
+        g = _group(_hours(0, 4), [_hours(10, 12)])
+        assert actual_propagation_delay_hours(g) == math.inf
+        assert unconrep_propagation_delay_hours(g) < math.inf

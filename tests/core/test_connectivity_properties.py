@@ -1,0 +1,127 @@
+"""Property-based invariants of the delay/connectivity computation."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ReplicaGroup,
+    actual_propagation_delay_hours,
+    connectivity_edges,
+    observed_propagation_delay_hours,
+    shortest_path_lengths,
+    unconrep_propagation_delay_hours,
+)
+from repro.robustness import extend_schedule
+from repro.timeline import DAY_SECONDS, IntervalSet
+
+_start = st.integers(min_value=0, max_value=DAY_SECONDS - 3600)
+_length = st.integers(min_value=600, max_value=10 * 3600)
+
+
+@st.composite
+def replica_groups(draw, min_members=1, max_members=6):
+    n = draw(st.integers(min_value=min_members, max_value=max_members))
+    schedules = {}
+    for member in range(n):
+        start = draw(_start)
+        length = draw(_length)
+        schedules[member] = IntervalSet(
+            [(start, min(start + length, DAY_SECONDS))], wrap=False
+        )
+    return ReplicaGroup(
+        owner=0, replicas=tuple(range(1, n)), schedules=schedules
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(replica_groups())
+def test_edges_symmetric_and_weights_bounded(group):
+    edges = connectivity_edges(group)
+    for a, nbrs in edges.items():
+        for b, w in nbrs.items():
+            assert edges[b][a] == w
+            assert 0 <= w < DAY_SECONDS
+
+
+@settings(max_examples=60, deadline=None)
+@given(replica_groups(min_members=2))
+def test_shortest_paths_triangle_inequality(group):
+    edges = connectivity_edges(group)
+    members = group.members
+    dist = {m: shortest_path_lengths(edges, m) for m in members}
+    for a in members:
+        for b in members:
+            assert dist[a][b] == dist[b][a]  # symmetry
+            for c in members:
+                assert dist[a][b] <= dist[a][c] + dist[c][b] + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(replica_groups())
+def test_delay_bounds(group):
+    delay = actual_propagation_delay_hours(group)
+    n = len(group.members)
+    if n == 1:
+        assert delay == 0.0
+    elif not math.isinf(delay):
+        # Each hop waits < 24 h; at most n-1 hops.
+        assert 0 <= delay < 24 * (n - 1) + 1e-9
+    observed = observed_propagation_delay_hours(group)
+    assert observed <= delay + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(replica_groups())
+def test_unconrep_delay_formula_bound(group):
+    delay = unconrep_propagation_delay_hours(group)
+    if len(group.members) == 1:
+        assert delay == 0.0
+    elif not math.isinf(delay):
+        assert 0 <= delay <= 48.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(replica_groups(min_members=2), st.integers(min_value=600, max_value=4 * 3600))
+def test_extending_everyones_schedule_never_raises_delay(group, extra):
+    """Longer online times only widen overlaps — the §V-C core-group
+    mechanism in its purest form."""
+    base = actual_propagation_delay_hours(group)
+    extended = ReplicaGroup(
+        owner=group.owner,
+        replicas=group.replicas,
+        schedules={
+            m: extend_schedule(s, extra) for m, s in group.schedules.items()
+        },
+    )
+    after = actual_propagation_delay_hours(extended)
+    if math.isinf(base):
+        return  # disconnected may stay disconnected or become connected
+    assert after <= base + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(replica_groups(min_members=2), _start, _length)
+def test_adding_member_never_lengthens_existing_paths(group, start, length):
+    """A new replica can only add routes between the existing members."""
+    before_edges = connectivity_edges(group)
+    before = {
+        m: shortest_path_lengths(before_edges, m) for m in group.members
+    }
+    new_id = max(group.members) + 1
+    schedules = dict(group.schedules)
+    schedules[new_id] = IntervalSet(
+        [(start, min(start + length, DAY_SECONDS))], wrap=False
+    )
+    bigger = ReplicaGroup(
+        owner=group.owner,
+        replicas=group.replicas + (new_id,),
+        schedules=schedules,
+    )
+    after_edges = connectivity_edges(bigger)
+    for a in group.members:
+        after = shortest_path_lengths(after_edges, a)
+        for b in group.members:
+            assert after[b] <= before[a][b] + 1e-6

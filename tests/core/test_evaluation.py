@@ -1,0 +1,245 @@
+"""Tests for the evaluation harness (cohorts, sweeps, aggregation)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AggregateMetrics,
+    CONREP,
+    UNCONREP,
+    evaluate_placements,
+    make_policy,
+    placement_sequences,
+    select_cohort,
+    sweep_replication_degree,
+    sweep_session_length,
+    sweep_user_degree,
+)
+from repro.core.metrics import UserMetrics
+from repro.datasets import synthetic_facebook
+from repro.onlinetime import FixedLengthModel, SporadicModel, compute_schedules
+
+import functools
+
+
+@functools.lru_cache(maxsize=1)
+def _dataset():
+    return synthetic_facebook(700, seed=11)
+
+
+def _user_metrics(**overrides):
+    base = dict(
+        user=1,
+        allowed_degree=2,
+        replicas=(2,),
+        availability=0.5,
+        max_achievable_availability=0.8,
+        aod_time=0.6,
+        aod_activity=0.7,
+        expected_activity_fraction=0.9,
+        aod_activity_expected=0.7,
+        aod_activity_unexpected=0.7,
+        delay_hours_actual=10.0,
+        delay_hours_observed=2.0,
+    )
+    base.update(overrides)
+    return UserMetrics(**base)
+
+
+class TestAggregateMetrics:
+    def test_means(self):
+        agg = AggregateMetrics.from_users(
+            [
+                _user_metrics(availability=0.2, delay_hours_actual=10.0),
+                _user_metrics(availability=0.4, delay_hours_actual=20.0),
+            ]
+        )
+        assert agg.num_users == 2
+        assert agg.availability == pytest.approx(0.3)
+        assert agg.delay_hours_actual == pytest.approx(15.0)
+
+    def test_infinite_delays_counted_not_averaged(self):
+        agg = AggregateMetrics.from_users(
+            [
+                _user_metrics(delay_hours_actual=10.0),
+                _user_metrics(delay_hours_actual=math.inf),
+            ]
+        )
+        assert agg.delay_hours_actual == pytest.approx(10.0)
+        assert agg.num_infinite_delay == 1
+
+    def test_all_infinite_gives_zero_mean(self):
+        agg = AggregateMetrics.from_users(
+            [_user_metrics(delay_hours_actual=math.inf)]
+        )
+        assert agg.delay_hours_actual == 0.0
+        assert agg.num_infinite_delay == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateMetrics.from_users([])
+        with pytest.raises(ValueError):
+            AggregateMetrics.mean([])
+
+    def test_mean_of_aggregates(self):
+        a = AggregateMetrics.from_users([_user_metrics(availability=0.2)])
+        b = AggregateMetrics.from_users([_user_metrics(availability=0.6)])
+        merged = AggregateMetrics.mean([a, b])
+        assert merged.availability == pytest.approx(0.4)
+
+
+class TestSelectCohort:
+    def test_exact_degree(self):
+        ds = _dataset()
+        users = select_cohort(ds, 10)
+        assert users
+        assert all(ds.degree(u) == 10 for u in users)
+
+    def test_subsample_reproducible(self):
+        ds = _dataset()
+        a = select_cohort(ds, 1, max_users=5, seed=3)
+        b = select_cohort(ds, 1, max_users=5, seed=3)
+        assert a == b
+        assert len(a) == 5
+
+    def test_no_users_returns_empty(self):
+        ds = _dataset()
+        assert select_cohort(ds, 100000) == []
+
+
+class TestSweepReplicationDegree:
+    def test_shapes_and_monotonicity(self):
+        ds = _dataset()
+        users = select_cohort(ds, 10, max_users=12)
+        policies = [make_policy("maxav"), make_policy("random")]
+        res = sweep_replication_degree(
+            ds,
+            SporadicModel(),
+            policies,
+            mode=CONREP,
+            degrees=list(range(6)),
+            users=users,
+            seed=0,
+        )
+        assert set(res) == {"maxav", "random"}
+        for series in res.values():
+            assert len(series) == 6
+            avail = [a.availability for a in series]
+            # Availability is monotone in allowed degree (prefix property).
+            assert all(b >= a - 1e-12 for a, b in zip(avail, avail[1:]))
+        # MaxAv dominates Random at every degree.
+        for mx, rnd in zip(res["maxav"], res["random"]):
+            assert mx.availability >= rnd.availability - 1e-9
+
+    def test_unconrep_geq_conrep_availability(self):
+        ds = _dataset()
+        users = select_cohort(ds, 10, max_users=12)
+        policy = [make_policy("maxav")]
+        model = FixedLengthModel(2)
+        con = sweep_replication_degree(
+            ds, model, policy, mode=CONREP, degrees=[4], users=users
+        )
+        uncon = sweep_replication_degree(
+            ds, model, policy, mode=UNCONREP, degrees=[4], users=users
+        )
+        assert (
+            uncon["maxav"][0].availability
+            >= con["maxav"][0].availability - 1e-9
+        )
+
+    def test_repeats_average(self):
+        ds = _dataset()
+        users = select_cohort(ds, 10, max_users=6)
+        res = sweep_replication_degree(
+            ds,
+            SporadicModel(),
+            [make_policy("random")],
+            degrees=[3],
+            users=users,
+            seed=0,
+            repeats=3,
+        )
+        assert res["random"][0].num_users == len(users)
+
+    def test_empty_cohort_rejected(self):
+        ds = _dataset()
+        with pytest.raises(ValueError):
+            sweep_replication_degree(
+                ds,
+                SporadicModel(),
+                [make_policy("maxav")],
+                degrees=[1],
+                users=[],
+            )
+
+
+class TestPlacementSequences:
+    def test_prefix_evaluation_matches_direct(self):
+        ds = _dataset()
+        users = select_cohort(ds, 10, max_users=5)
+        schedules = compute_schedules(ds, SporadicModel(), seed=1)
+        policy = make_policy("maxav")
+        sequences = placement_sequences(
+            ds, schedules, users, policy, mode=CONREP, max_degree=8, seed=1
+        )
+        agg3 = evaluate_placements(ds, schedules, sequences, 3, mode=CONREP)
+        assert 0 <= agg3.availability <= 1
+        assert agg3.mean_replicas_used <= 3
+
+
+class TestSweepSessionLength:
+    def test_longer_sessions_more_availability(self):
+        ds = _dataset()
+        users = select_cohort(ds, 10, max_users=10)
+        res = sweep_session_length(
+            ds,
+            [600, 3600, 4 * 3600],
+            [make_policy("maxav")],
+            k=3,
+            users=users,
+            seed=0,
+        )
+        avail = [a.availability for a in res["maxav"]]
+        assert avail == sorted(avail)
+
+    def test_longer_sessions_less_delay(self):
+        ds = _dataset()
+        users = select_cohort(ds, 10, max_users=10)
+        res = sweep_session_length(
+            ds,
+            [600, 6 * 3600],
+            [make_policy("maxav")],
+            k=3,
+            users=users,
+            seed=0,
+        )
+        delays = [a.delay_hours_actual for a in res["maxav"]]
+        assert delays[1] < delays[0]
+
+
+class TestSweepUserDegree:
+    def test_availability_grows_with_degree(self):
+        ds = _dataset()
+        res = sweep_user_degree(
+            ds,
+            SporadicModel(),
+            [make_policy("maxav")],
+            user_degrees=[1, 5, 10],
+            max_users_per_degree=15,
+            seed=0,
+        )
+        series = [a for a in res["maxav"] if a is not None]
+        assert len(series) == 3
+        avail = [a.availability for a in series]
+        assert avail[0] < avail[-1]
+
+    def test_missing_degree_yields_none(self):
+        ds = _dataset()
+        res = sweep_user_degree(
+            ds,
+            SporadicModel(),
+            [make_policy("maxav")],
+            user_degrees=[100000],
+        )
+        assert res["maxav"] == [None]

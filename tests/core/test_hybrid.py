@@ -1,0 +1,136 @@
+"""Tests for the Hybrid placement policy (extension)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CONREP,
+    HybridPlacement,
+    MaxAvPlacement,
+    MostActivePlacement,
+    PlacementContext,
+    UNCONREP,
+)
+from repro.datasets import Activity, ActivityTrace, Dataset
+from repro.graph import SocialGraph
+from repro.timeline import HOUR_SECONDS, IntervalSet
+
+
+def _hours(start, end):
+    return IntervalSet([(start * HOUR_SECONDS, end * HOUR_SECONDS)])
+
+
+def _star_dataset(num_friends, activities=()):
+    g = SocialGraph()
+    for f in range(1, num_friends + 1):
+        g.add_edge(0, f)
+    return Dataset("t", "facebook", g, ActivityTrace(activities))
+
+
+def _ctx(dataset, schedules, mode=UNCONREP, seed=0):
+    return PlacementContext(
+        dataset=dataset,
+        schedules=schedules,
+        user=0,
+        mode=mode,
+        rng=random.Random(seed),
+    )
+
+
+class TestHybrid:
+    def test_prefers_active_friend_with_gain(self):
+        acts = [Activity(timestamp=i, creator=2, receiver=0) for i in range(9)]
+        ds = _star_dataset(3, acts)
+        schedules = {
+            0: _hours(0, 1),
+            1: _hours(2, 10),   # huge gain, zero activity
+            2: _hours(3, 5),    # most active, positive gain
+            3: _hours(6, 7),
+        }
+        picked = HybridPlacement().select(_ctx(ds, schedules), 1)
+        assert picked == (2,)
+
+    def test_skips_active_friend_without_gain(self):
+        # Friend 2 is most active but adds no coverage beyond the owner.
+        acts = [Activity(timestamp=i, creator=2, receiver=0) for i in range(9)]
+        ds = _star_dataset(2, acts)
+        schedules = {
+            0: _hours(0, 10),
+            1: _hours(9, 12),  # adds [10,12)
+            2: _hours(2, 6),   # fully covered by the owner
+        }
+        picked = HybridPlacement().select(_ctx(ds, schedules), 2)
+        assert picked == (1,)
+
+    def test_stops_when_nothing_adds_coverage(self):
+        ds = _star_dataset(2)
+        schedules = {0: _hours(0, 10), 1: _hours(1, 5), 2: _hours(2, 8)}
+        assert HybridPlacement().select(_ctx(ds, schedules), 2) == ()
+
+    def test_conrep_connectivity_respected(self):
+        acts = [Activity(timestamp=i, creator=1, receiver=0) for i in range(9)]
+        ds = _star_dataset(2, acts)
+        schedules = {
+            0: _hours(0, 2),
+            1: _hours(10, 12),  # most active, disconnected
+            2: _hours(1, 4),
+        }
+        picked = HybridPlacement().select(_ctx(ds, schedules, CONREP), 2)
+        assert picked == (2,)
+
+    def test_reaches_maxav_coverage_and_stops_when_exhausted(self):
+        """The hybrid may need more picks than MaxAv (it ranks by
+        activity, not by gain), but it ends at the same total coverage
+        and never picks a zero-gain replica."""
+        ds = _star_dataset(4)
+        schedules = {
+            0: _hours(0, 1),
+            1: _hours(1, 12),
+            2: _hours(1, 11),
+            3: _hours(2, 10),
+            4: _hours(3, 9),
+        }
+        hybrid = HybridPlacement().select(_ctx(ds, schedules), 4)
+        maxav = MaxAvPlacement().select(_ctx(ds, schedules), 4)
+        cov = lambda sel: IntervalSet.union_all(
+            [schedules[0]] + [schedules[x] for x in sel]
+        ).measure
+        assert cov(hybrid) == cov(maxav)
+        # Every hybrid pick added coverage: re-playing the selection, the
+        # running union strictly grows at each step.
+        running = schedules[0]
+        for pick in hybrid:
+            grown = running | schedules[pick]
+            assert grown.measure > running.measure
+            running = grown
+
+    def test_k_zero_and_validation(self):
+        ds = _star_dataset(1)
+        assert HybridPlacement().select(_ctx(ds, {0: _hours(0, 1)}), 0) == ()
+        with pytest.raises(ValueError):
+            HybridPlacement().select(_ctx(ds, {0: _hours(0, 1)}), -2)
+
+    def test_coverage_geq_mostactive(self):
+        """Filtering useless picks cannot reduce total coverage relative
+        to plain MostActive at the same allowed degree."""
+        rng = random.Random(5)
+        acts = [
+            Activity(timestamp=rng.randrange(86400), creator=1 + rng.randrange(6), receiver=0)
+            for _ in range(40)
+        ]
+        ds = _star_dataset(6, acts)
+        schedules = {0: _hours(0, 2)}
+        for f in range(1, 7):
+            start = rng.uniform(0, 18)
+            schedules[f] = _hours(start, start + 4)
+        for k in range(7):
+            h = HybridPlacement().select(_ctx(ds, schedules, seed=9), k)
+            m = MostActivePlacement().select(_ctx(ds, schedules, seed=9), k)
+            cov_h = IntervalSet.union_all(
+                [schedules[0]] + [schedules[x] for x in h]
+            ).measure
+            cov_m = IntervalSet.union_all(
+                [schedules[0]] + [schedules[x] for x in m]
+            ).measure
+            assert cov_h >= cov_m - 1e-9

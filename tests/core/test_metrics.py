@@ -1,0 +1,146 @@
+"""Tests for the per-user metric computation."""
+
+import math
+
+import pytest
+
+from repro.core import CONREP, UNCONREP, evaluate_user, profile_schedule
+from repro.datasets import Activity, ActivityTrace, Dataset
+from repro.graph import SocialGraph
+from repro.timeline import DAY_SECONDS, HOUR_SECONDS, IntervalSet
+
+
+def _hours(start, end):
+    return IntervalSet([(start * HOUR_SECONDS, end * HOUR_SECONDS)])
+
+
+def _dataset(num_friends, activities=()):
+    g = SocialGraph()
+    for f in range(1, num_friends + 1):
+        g.add_edge(0, f)
+    return Dataset("t", "facebook", g, ActivityTrace(activities))
+
+
+class TestProfileSchedule:
+    def test_union_of_owner_and_replicas(self):
+        schedules = {0: _hours(0, 1), 1: _hours(2, 3), 2: _hours(4, 5)}
+        sched = profile_schedule(0, [1, 2], schedules)
+        assert sched.measure == 3 * HOUR_SECONDS
+
+    def test_missing_schedules_treated_empty(self):
+        assert profile_schedule(0, [1], {}).is_empty
+
+
+class TestAvailability:
+    def test_degree_zero_is_owner_online_fraction(self):
+        ds = _dataset(2)
+        schedules = {0: _hours(0, 6), 1: _hours(0, 24), 2: _hours(0, 24)}
+        m = evaluate_user(ds, schedules, 0, [])
+        assert m.availability == pytest.approx(0.25)
+        assert m.replication_degree == 0
+        assert m.delay_hours_actual == 0.0
+
+    def test_replicas_add_availability(self):
+        ds = _dataset(1)
+        schedules = {0: _hours(0, 6), 1: _hours(6, 12)}
+        m = evaluate_user(ds, schedules, 0, [1])
+        assert m.availability == pytest.approx(0.5)
+
+    def test_max_achievable_is_friends_union_plus_owner(self):
+        ds = _dataset(2)
+        schedules = {0: _hours(0, 2), 1: _hours(4, 6), 2: _hours(5, 7)}
+        m = evaluate_user(ds, schedules, 0, [])
+        assert m.max_achievable_availability == pytest.approx(5 / 24)
+
+
+class TestAodTime:
+    def test_full_when_replicas_cover_friend_time(self):
+        ds = _dataset(2)
+        schedules = {0: _hours(0, 24), 1: _hours(4, 6), 2: _hours(5, 7)}
+        m = evaluate_user(ds, schedules, 0, [])
+        assert m.aod_time == 1.0  # owner alone covers everything
+
+    def test_partial_coverage(self):
+        ds = _dataset(2)
+        schedules = {
+            0: _hours(0, 2),  # owner covers friend 1's [0,2)? friend1 below
+            1: _hours(0, 4),
+            2: _hours(10, 14),
+        }
+        m = evaluate_user(ds, schedules, 0, [])
+        # friends union 8h; owner covers [0,2) = 2h.
+        assert m.aod_time == pytest.approx(0.25)
+
+    def test_vacuous_when_friends_never_online(self):
+        ds = _dataset(1)
+        schedules = {0: _hours(0, 1), 1: IntervalSet.empty()}
+        m = evaluate_user(ds, schedules, 0, [])
+        assert m.aod_time == 1.0
+
+
+class TestAodActivity:
+    def test_counts_served_instants(self):
+        acts = [
+            Activity(timestamp=1 * HOUR_SECONDS, creator=1, receiver=0),
+            Activity(timestamp=12 * HOUR_SECONDS, creator=1, receiver=0),
+        ]
+        ds = _dataset(1, acts)
+        schedules = {0: _hours(0, 2), 1: _hours(11, 13)}
+        m = evaluate_user(ds, schedules, 0, [])
+        # Owner online at 01:00 only -> 1 of 2 served.
+        assert m.aod_activity == pytest.approx(0.5)
+        with_replica = evaluate_user(ds, schedules, 0, [1])
+        assert with_replica.aod_activity == 1.0
+
+    def test_expected_unexpected_split(self):
+        acts = [
+            Activity(timestamp=1 * HOUR_SECONDS, creator=1, receiver=0),
+            Activity(timestamp=12 * HOUR_SECONDS, creator=1, receiver=0),
+        ]
+        ds = _dataset(1, acts)
+        # Creator 1 online only around 12:00 -> first activity unexpected.
+        schedules = {0: _hours(0, 2), 1: _hours(11, 13)}
+        m = evaluate_user(ds, schedules, 0, [])
+        assert m.expected_activity_fraction == pytest.approx(0.5)
+        assert m.aod_activity_expected == 0.0  # 12:00 not served by owner
+        assert m.aod_activity_unexpected == 1.0  # 01:00 served by owner
+
+    def test_vacuous_when_no_profile_activity(self):
+        ds = _dataset(1)
+        schedules = {0: _hours(0, 1), 1: _hours(0, 1)}
+        m = evaluate_user(ds, schedules, 0, [])
+        assert m.aod_activity == 1.0
+
+
+class TestDelayModes:
+    def test_conrep_uses_graph_delay(self):
+        ds = _dataset(1)
+        schedules = {0: _hours(0, 4), 1: _hours(2, 6)}
+        m = evaluate_user(ds, schedules, 0, [1], mode=CONREP)
+        assert m.delay_hours_actual == pytest.approx(22.0)
+        assert m.delay_hours_observed <= m.delay_hours_actual
+
+    def test_unconrep_uses_cdn_delay(self):
+        ds = _dataset(1)
+        schedules = {0: _hours(0, 4), 1: _hours(10, 12)}
+        m = evaluate_user(ds, schedules, 0, [1], mode=UNCONREP)
+        assert m.delay_hours_actual == pytest.approx(42.0)
+        assert m.delay_hours_observed <= m.delay_hours_actual
+
+    def test_disconnected_conrep_is_inf(self):
+        ds = _dataset(1)
+        schedules = {0: _hours(0, 1), 1: _hours(10, 11)}
+        m = evaluate_user(ds, schedules, 0, [1], mode=CONREP)
+        assert math.isinf(m.delay_hours_actual)
+
+    def test_mode_validation(self):
+        ds = _dataset(1)
+        with pytest.raises(ValueError):
+            evaluate_user(ds, {0: _hours(0, 1)}, 0, [], mode="hybrid")
+
+    def test_allowed_degree_recorded(self):
+        ds = _dataset(1)
+        schedules = {0: _hours(0, 4), 1: _hours(2, 6)}
+        m = evaluate_user(ds, schedules, 0, [1], allowed_degree=5)
+        assert m.allowed_degree == 5
+        assert m.replication_degree == 1

@@ -1,0 +1,175 @@
+"""Tests for the brute-force optimal selection and the greedy gap."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MaxAvPlacement, PlacementContext
+from repro.core.optimal import (
+    MAX_CANDIDATES,
+    greedy_optimality_gap,
+    minimum_replicas_for_coverage,
+    optimal_coverage,
+)
+from repro.datasets import ActivityTrace, Dataset
+from repro.graph import SocialGraph
+from repro.timeline import HOUR_SECONDS, IntervalSet
+
+
+def _hours(start, end):
+    return IntervalSet([(start * HOUR_SECONDS, end * HOUR_SECONDS)])
+
+
+class TestOptimalCoverage:
+    def test_owner_only_baseline(self):
+        schedules = {0: _hours(0, 2)}
+        universe = _hours(0, 24)
+        cov, subset = optimal_coverage(0, [], schedules, universe, 3)
+        assert cov == 2 * HOUR_SECONDS
+        assert subset == ()
+
+    def test_finds_complementary_pair(self):
+        schedules = {
+            0: _hours(0, 1),
+            1: _hours(1, 8),  # 7h
+            2: _hours(8, 15),  # 7h
+            3: _hours(1, 9),  # 8h but overlaps both less efficiently
+        }
+        universe = _hours(0, 24)
+        cov, subset = optimal_coverage(0, [1, 2, 3], schedules, universe, 2)
+        # Optimal pair must cover 15h: [0,1)+[1,8)+[8,15).
+        assert cov == 15 * HOUR_SECONDS
+        assert set(subset) == {1, 2}
+
+    def test_greedy_can_be_suboptimal_here(self):
+        # Classic greedy trap: the big middle set blocks the optimal pair.
+        schedules = {
+            0: IntervalSet.empty(),
+            1: _hours(0, 10),
+            2: _hours(8, 18),
+            3: _hours(4, 14),  # 10h, greedy's tempting first pick? equal size
+        }
+        universe = _hours(0, 18)
+        cov, _ = optimal_coverage(0, [1, 2, 3], schedules, universe, 2)
+        assert cov == 18 * HOUR_SECONDS
+
+    def test_conrep_restricts_subsets(self):
+        schedules = {
+            0: _hours(0, 2),
+            1: _hours(10, 20),  # big but disconnected from owner
+            2: _hours(1, 5),  # connected
+        }
+        universe = _hours(0, 24)
+        cov_uncon, sub_uncon = optimal_coverage(
+            0, [1, 2], schedules, universe, 1, connected=False
+        )
+        cov_con, sub_con = optimal_coverage(
+            0, [1, 2], schedules, universe, 1, connected=True
+        )
+        assert sub_uncon == (1,)
+        assert sub_con == (2,)
+        assert cov_con < cov_uncon
+
+    def test_k_zero(self):
+        schedules = {0: _hours(0, 2), 1: _hours(2, 4)}
+        cov, subset = optimal_coverage(0, [1], schedules, _hours(0, 24), 0)
+        assert subset == ()
+
+    def test_size_guard(self):
+        schedules = {i: _hours(0, 1) for i in range(MAX_CANDIDATES + 2)}
+        with pytest.raises(ValueError):
+            optimal_coverage(
+                0,
+                list(range(1, MAX_CANDIDATES + 2)),
+                schedules,
+                _hours(0, 24),
+                2,
+            )
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            optimal_coverage(0, [], {0: _hours(0, 1)}, _hours(0, 24), -1)
+
+
+class TestMinimumReplicas:
+    def test_zero_needed_when_owner_suffices(self):
+        schedules = {0: _hours(0, 10), 1: _hours(0, 5)}
+        subset = minimum_replicas_for_coverage(
+            0, [1], schedules, _hours(0, 24), target=10 * HOUR_SECONDS
+        )
+        assert subset == ()
+
+    def test_finds_smallest(self):
+        schedules = {
+            0: _hours(0, 1),
+            1: _hours(1, 6),
+            2: _hours(1, 3),
+            3: _hours(3, 6),
+        }
+        subset = minimum_replicas_for_coverage(
+            0, [1, 2, 3], schedules, _hours(0, 24), target=6 * HOUR_SECONDS
+        )
+        assert subset == (1,)
+
+    def test_unreachable_target(self):
+        schedules = {0: _hours(0, 1), 1: _hours(1, 2)}
+        assert (
+            minimum_replicas_for_coverage(
+                0, [1], schedules, _hours(0, 24), target=10 * HOUR_SECONDS
+            )
+            is None
+        )
+
+
+class TestGreedyGap:
+    def _random_instance(self, rng, n=8):
+        schedules = {0: _hours(0, 1)}
+        for i in range(1, n + 1):
+            start = rng.uniform(0, 20)
+            schedules[i] = _hours(start, start + rng.uniform(1, 6))
+        return schedules
+
+    def _greedy(self, schedules, candidates, k, connected):
+        g = SocialGraph()
+        for c in candidates:
+            g.add_edge(0, c)
+        ds = Dataset("t", "facebook", g, ActivityTrace([]))
+        ctx = PlacementContext(
+            dataset=ds,
+            schedules=schedules,
+            user=0,
+            mode="conrep" if connected else "unconrep",
+            rng=random.Random(0),
+        )
+        return MaxAvPlacement().select(ctx, k)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_greedy_within_classical_bound_unconstrained(self, seed):
+        """Unconstrained greedy coverage >= (1 - 1/e) x optimal."""
+        rng = random.Random(seed)
+        schedules = self._random_instance(rng)
+        candidates = list(range(1, 9))
+        universe = IntervalSet.union_all(schedules.values())
+        k = 3
+        greedy_sel = self._greedy(schedules, candidates, k, connected=False)
+        gap = greedy_optimality_gap(
+            0, candidates, schedules, universe, greedy_sel, k
+        )
+        assert gap["greedy_coverage"] <= gap["optimal_coverage"] + 1e-9
+        assert gap["ratio"] >= 1 - 1 / 2.718281828 - 1e-9
+
+    def test_gap_dict_shape(self):
+        schedules = {0: _hours(0, 1), 1: _hours(1, 3)}
+        gap = greedy_optimality_gap(
+            0, [1], schedules, _hours(0, 24), (1,), 1
+        )
+        assert set(gap) == {
+            "greedy_coverage",
+            "optimal_coverage",
+            "ratio",
+            "optimal_size",
+        }
+        assert gap["ratio"] == pytest.approx(1.0)

@@ -1,0 +1,284 @@
+"""Tests for the three placement policies under both regimes."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CONREP,
+    MaxAvPlacement,
+    MostActivePlacement,
+    PlacementContext,
+    RandomPlacement,
+    UNCONREP,
+    make_policy,
+    policy_names,
+)
+from repro.datasets import Activity, ActivityTrace, Dataset
+from repro.graph import SocialGraph
+from repro.timeline import HOUR_SECONDS, IntervalSet
+
+
+def _hours(start, end):
+    return IntervalSet([(start * HOUR_SECONDS, end * HOUR_SECONDS)])
+
+
+def _star_dataset(num_friends, activities=()):
+    """User 0 with friends 1..n; optional activities on 0's profile."""
+    g = SocialGraph()
+    for f in range(1, num_friends + 1):
+        g.add_edge(0, f)
+    return Dataset("t", "facebook", g, ActivityTrace(activities))
+
+
+def _ctx(dataset, schedules, mode=CONREP, seed=0, user=0):
+    return PlacementContext(
+        dataset=dataset,
+        schedules=schedules,
+        user=user,
+        mode=mode,
+        rng=random.Random(seed),
+    )
+
+
+class TestPlacementContext:
+    def test_mode_validation(self):
+        ds = _star_dataset(1)
+        with pytest.raises(ValueError):
+            PlacementContext(dataset=ds, schedules={}, user=0, mode="banana")
+
+    def test_candidates_sorted(self):
+        ds = _star_dataset(3)
+        ctx = _ctx(ds, {})
+        assert ctx.candidates == (1, 2, 3)
+
+    def test_schedule_of_missing_user_is_empty(self):
+        ds = _star_dataset(1)
+        ctx = _ctx(ds, {})
+        assert ctx.schedule_of(42).is_empty
+
+
+class TestMaxAv:
+    def test_picks_best_coverage_first(self):
+        ds = _star_dataset(3)
+        schedules = {
+            0: _hours(0, 1),
+            1: _hours(1, 9),  # 8h, overlaps owner at hour boundary? no: [1,9) touches [0,1) -> no overlap
+            2: _hours(0.5, 4),  # 3.5h, overlaps owner
+            3: _hours(2, 3),
+        }
+        # UnconRep: pure greedy -> friend 1 (8h gain beyond owner's [0,1)).
+        picked = MaxAvPlacement().select(_ctx(ds, schedules, UNCONREP), 3)
+        assert picked[0] == 1
+
+    def test_conrep_requires_owner_overlap_first(self):
+        ds = _star_dataset(2)
+        schedules = {
+            0: _hours(0, 1),
+            1: _hours(5, 23),  # huge but disconnected from owner
+            2: _hours(0.5, 2),  # small but connected
+        }
+        picked = MaxAvPlacement().select(_ctx(ds, schedules, CONREP), 2)
+        assert picked[0] == 2
+        # After admitting 2, friend 1 overlaps 2's [0.5,2)? no ([5,23) vs [0.5,2)) -> still excluded.
+        assert picked == (2,)
+
+    def test_conrep_chain_extension(self):
+        ds = _star_dataset(2)
+        schedules = {
+            0: _hours(0, 2),
+            1: _hours(1, 5),
+            2: _hours(4, 9),  # connected only through 1
+        }
+        picked = MaxAvPlacement().select(_ctx(ds, schedules, CONREP), 2)
+        assert picked == (1, 2)
+
+    def test_stops_when_no_gain(self):
+        ds = _star_dataset(3)
+        schedules = {
+            0: _hours(0, 1),
+            1: _hours(0.5, 3),
+            2: _hours(1, 3),  # fully inside 1's coverage
+            3: _hours(0, 2),
+        }
+        picked = MaxAvPlacement().select(_ctx(ds, schedules, UNCONREP), 3)
+        # Friend 1 covers (1,3); friends 2,3 add nothing beyond owner+1.
+        assert picked == (1,)
+
+    def test_k_zero(self):
+        ds = _star_dataset(2)
+        assert MaxAvPlacement().select(_ctx(ds, {0: _hours(0, 1)}), 0) == ()
+
+    def test_k_negative_rejected(self):
+        ds = _star_dataset(1)
+        with pytest.raises(ValueError):
+            MaxAvPlacement().select(_ctx(ds, {}), -1)
+
+    def test_activity_objective_covers_profile_activity(self):
+        acts = [
+            Activity(timestamp=10 * HOUR_SECONDS, creator=1, receiver=0),
+            Activity(timestamp=10 * HOUR_SECONDS + 60, creator=2, receiver=0),
+            Activity(timestamp=22 * HOUR_SECONDS, creator=1, receiver=0),
+        ]
+        ds = _star_dataset(3, acts)
+        schedules = {
+            0: _hours(0, 1),
+            1: _hours(9, 12),  # covers the two 10:00 activities
+            2: _hours(21, 23),  # covers the 22:00 activity
+            3: _hours(2, 8),  # covers nothing
+        }
+        picked = MaxAvPlacement(objective="activity").select(
+            _ctx(ds, schedules, UNCONREP), 3
+        )
+        assert picked == (1, 2)
+
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            MaxAvPlacement(objective="availability")
+
+    def test_names(self):
+        assert MaxAvPlacement().name == "maxav"
+        assert MaxAvPlacement(objective="activity").name == "maxav-activity"
+
+
+class TestMostActive:
+    def test_ranks_by_interaction_count(self):
+        acts = (
+            [Activity(timestamp=i, creator=2, receiver=0) for i in range(5)]
+            + [Activity(timestamp=i, creator=1, receiver=0) for i in range(5, 8)]
+        )
+        ds = _star_dataset(3, acts)
+        schedules = {u: _hours(0, 24) for u in range(4)}
+        picked = MostActivePlacement().select(_ctx(ds, schedules, UNCONREP), 2)
+        assert picked == (2, 1)
+
+    def test_fills_with_random_friends(self):
+        acts = [Activity(timestamp=1, creator=1, receiver=0)] * 1
+        ds = _star_dataset(4, acts)
+        schedules = {u: _hours(0, 24) for u in range(5)}
+        picked = MostActivePlacement().select(_ctx(ds, schedules, UNCONREP), 3)
+        assert picked[0] == 1
+        assert len(picked) == 3
+        assert set(picked[1:]).issubset({2, 3, 4})
+
+    def test_conrep_skips_disconnected(self):
+        acts = [Activity(timestamp=i, creator=1, receiver=0) for i in range(9)]
+        ds = _star_dataset(2, acts)
+        schedules = {
+            0: _hours(0, 2),
+            1: _hours(10, 12),  # most active but disconnected
+            2: _hours(1, 3),
+        }
+        picked = MostActivePlacement().select(_ctx(ds, schedules, CONREP), 2)
+        assert picked == (2,)  # 1 never becomes connected
+
+    def test_conrep_admits_once_connected(self):
+        acts = [Activity(timestamp=i, creator=2, receiver=0) for i in range(9)]
+        ds = _star_dataset(2, acts)
+        schedules = {
+            0: _hours(0, 2),
+            1: _hours(1, 5),
+            2: _hours(4, 8),  # most active; connected only via 1
+        }
+        picked = MostActivePlacement().select(_ctx(ds, schedules, CONREP), 2)
+        assert picked == (1, 2)
+
+    def test_window_restricts_history(self):
+        early = [Activity(timestamp=i, creator=1, receiver=0) for i in range(5)]
+        late = [
+            Activity(timestamp=1000 + i, creator=2, receiver=0) for i in range(3)
+        ]
+        ds = _star_dataset(2, early + late)
+        schedules = {u: _hours(0, 24) for u in range(3)}
+        policy = MostActivePlacement(window=(1000, 2000))
+        picked = policy.select(_ctx(ds, schedules, UNCONREP), 1)
+        assert picked == (2,)
+
+    def test_deterministic_given_seed(self):
+        ds = _star_dataset(5)
+        schedules = {u: _hours(0, 24) for u in range(6)}
+        a = MostActivePlacement().select(_ctx(ds, schedules, UNCONREP, seed=3), 3)
+        b = MostActivePlacement().select(_ctx(ds, schedules, UNCONREP, seed=3), 3)
+        assert a == b
+
+
+class TestRandom:
+    def test_unconrep_uniform_subset(self):
+        ds = _star_dataset(5)
+        schedules = {u: _hours(0, 24) for u in range(6)}
+        picked = RandomPlacement().select(_ctx(ds, schedules, UNCONREP, seed=1), 3)
+        assert len(picked) == 3
+        assert len(set(picked)) == 3
+
+    def test_conrep_only_connected(self):
+        ds = _star_dataset(3)
+        schedules = {
+            0: _hours(0, 2),
+            1: _hours(1, 3),
+            2: _hours(10, 12),
+            3: _hours(11, 13),
+        }
+        for seed in range(10):
+            picked = RandomPlacement().select(
+                _ctx(ds, schedules, CONREP, seed=seed), 3
+            )
+            assert picked == (1,)
+
+    def test_k_larger_than_candidates(self):
+        ds = _star_dataset(2)
+        schedules = {u: _hours(0, 24) for u in range(3)}
+        picked = RandomPlacement().select(_ctx(ds, schedules, UNCONREP), 10)
+        assert set(picked) == {1, 2}
+
+    def test_varies_across_seeds(self):
+        ds = _star_dataset(8)
+        schedules = {u: _hours(0, 24) for u in range(9)}
+        results = {
+            RandomPlacement().select(_ctx(ds, schedules, UNCONREP, seed=s), 3)
+            for s in range(10)
+        }
+        assert len(results) > 1
+
+
+class TestRegistry:
+    def test_names(self):
+        assert policy_names() == ["hybrid", "maxav", "mostactive", "random"]
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("maxav"), MaxAvPlacement)
+        assert make_policy("maxav", objective="activity").objective == "activity"
+        assert isinstance(make_policy("MostActive"), MostActivePlacement)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("optimal")
+
+
+class TestPrefixProperty:
+    """Selection for degree k must be a prefix of selection for k+1 — the
+    exactness condition of the evaluation harness's prefix shortcut."""
+
+    def _schedules(self, n, seed):
+        rng = random.Random(seed)
+        scheds = {}
+        for u in range(n + 1):
+            start = rng.uniform(0, 20) * HOUR_SECONDS
+            scheds[u] = IntervalSet([(start, start + 4 * HOUR_SECONDS)])
+        return scheds
+
+    @pytest.mark.parametrize(
+        "policy_name", ["maxav", "mostactive", "random", "hybrid"]
+    )
+    @pytest.mark.parametrize("mode", [CONREP, UNCONREP])
+    def test_prefix(self, policy_name, mode):
+        acts = [
+            Activity(timestamp=i * 97 % 86400, creator=1 + i % 8, receiver=0)
+            for i in range(30)
+        ]
+        ds = _star_dataset(8, acts)
+        schedules = self._schedules(8, seed=5)
+        policy = make_policy(policy_name)
+        for k in range(8):
+            a = policy.select(_ctx(ds, schedules, mode, seed=11), k)
+            b = policy.select(_ctx(ds, schedules, mode, seed=11), k + 1)
+            assert b[:k] == a

@@ -1,0 +1,112 @@
+"""Tests for the greedy set-cover primitives."""
+
+import pytest
+
+from repro.core import IntervalUniverse, PointUniverse, greedy_cover
+from repro.timeline import DAY_SECONDS, IntervalSet
+
+
+def _iv(*pairs):
+    return IntervalSet(list(pairs))
+
+
+class TestIntervalUniverse:
+    def test_gain_counts_only_universe_mass(self):
+        universe = IntervalUniverse(_iv((0, 100)))
+        assert universe.gain(_iv((50, 200))) == 50
+
+    def test_commit_reduces_future_gain(self):
+        universe = IntervalUniverse(_iv((0, 200)))
+        universe.commit(_iv((0, 100)))
+        assert universe.gain(_iv((0, 150))) == 50
+        assert universe.covered_measure == 100
+        assert universe.remaining_measure == 100
+
+    def test_precovered(self):
+        universe = IntervalUniverse(_iv((0, 100)), covered=_iv((0, 40)))
+        assert universe.remaining_measure == 60
+        assert universe.gain(_iv((0, 100))) == 60
+
+    def test_covered_outside_universe_ignored(self):
+        universe = IntervalUniverse(_iv((0, 100)), covered=_iv((500, 600)))
+        assert universe.covered_measure == 0
+
+
+class TestPointUniverse:
+    def test_gain_counts_points(self):
+        universe = PointUniverse([10, 20, 30])
+        assert universe.gain(_iv((0, 25))) == 2
+
+    def test_commit_removes_points(self):
+        universe = PointUniverse([10, 20, 30])
+        universe.commit(_iv((0, 25)))
+        assert universe.remaining_measure == 1
+        assert universe.covered_measure == 2
+        assert universe.gain(_iv((0, 100))) == 1
+
+    def test_points_project_onto_day(self):
+        universe = PointUniverse([DAY_SECONDS + 50])
+        assert universe.gain(_iv((0, 100))) == 1
+
+    def test_precovered(self):
+        universe = PointUniverse([10, 500], covered=_iv((0, 100)))
+        assert universe.total_measure == 2
+        assert universe.remaining_measure == 1
+
+    def test_duplicate_instants_count_separately(self):
+        universe = PointUniverse([10, 10, 10])
+        assert universe.gain(_iv((0, 20))) == 3
+
+
+class TestGreedyCover:
+    def test_picks_largest_first(self):
+        universe = IntervalUniverse(_iv((0, 1000)))
+        candidates = {
+            "small": _iv((0, 100)),
+            "big": _iv((0, 500)),
+            "mid": _iv((400, 700)),
+        }
+        picked = greedy_cover(universe, candidates)
+        assert picked[0] == "big"
+
+    def test_stops_when_no_gain(self):
+        universe = IntervalUniverse(_iv((0, 100)))
+        candidates = {"a": _iv((0, 100)), "b": _iv((0, 100))}
+        picked = greedy_cover(universe, candidates)
+        assert picked == ("a",)
+
+    def test_respects_max_picks(self):
+        universe = IntervalUniverse(_iv((0, 300)))
+        candidates = {
+            "a": _iv((0, 100)),
+            "b": _iv((100, 200)),
+            "c": _iv((200, 300)),
+        }
+        picked = greedy_cover(universe, candidates, max_picks=2)
+        assert len(picked) == 2
+
+    def test_achieves_full_cover_when_possible(self):
+        universe = IntervalUniverse(_iv((0, 300)))
+        candidates = {
+            "a": _iv((0, 150)),
+            "b": _iv((100, 250)),
+            "c": _iv((200, 300)),
+        }
+        greedy_cover(universe, candidates)
+        assert universe.remaining_measure == 0
+
+    def test_deterministic_tie_break_by_key(self):
+        universe = IntervalUniverse(_iv((0, 100)))
+        candidates = {"z": _iv((0, 100)), "a": _iv((0, 100))}
+        assert greedy_cover(universe, candidates) == ("a",)
+
+    def test_point_universe_cover(self):
+        universe = PointUniverse([10, 20, 800, 900])
+        candidates = {
+            "early": _iv((0, 30)),
+            "late": _iv((700, 1000)),
+            "one": _iv((5, 15)),
+        }
+        picked = greedy_cover(universe, candidates)
+        assert set(picked) == {"early", "late"}
+        assert universe.remaining_measure == 0

@@ -1,0 +1,110 @@
+"""Tests for the synthetic trace generators."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datasets import DiurnalMixture, TraceParams
+from repro.datasets.synthesis import (
+    _draw_activity_count,
+    synthesize_tweet_trace,
+    synthesize_wall_trace,
+)
+from repro.graph import barabasi_albert, preferential_follower_graph
+from repro.timeline import DAY_SECONDS
+
+
+class TestTraceParams:
+    def test_defaults_valid(self):
+        TraceParams()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceParams(trace_days=0)
+        with pytest.raises(ValueError):
+            TraceParams(activities_mean=0)
+        with pytest.raises(ValueError):
+            TraceParams(partner_zipf_alpha=-1)
+
+
+class TestDiurnalMixture:
+    def test_peak_in_day(self):
+        rng = random.Random(0)
+        mix = DiurnalMixture()
+        for _ in range(200):
+            assert 0 <= mix.draw_peak(rng) < DAY_SECONDS
+
+    def test_evening_bias(self):
+        rng = random.Random(1)
+        mix = DiurnalMixture()
+        peaks = [mix.draw_peak(rng) for _ in range(2000)]
+        evening = sum(1 for p in peaks if 17 * 3600 <= p <= 23.9 * 3600)
+        morning = sum(1 for p in peaks if 5 * 3600 <= p <= 11 * 3600)
+        assert evening > morning
+
+
+class TestActivityCount:
+    def test_mean_approximately_configured(self):
+        rng = random.Random(2)
+        params = TraceParams(activities_mean=50.0)
+        draws = [_draw_activity_count(params, rng) for _ in range(4000)]
+        assert math.isclose(sum(draws) / len(draws), 50.0, rel_tol=0.1)
+
+    def test_minimum_one(self):
+        rng = random.Random(3)
+        params = TraceParams(activities_mean=1.0, activities_sigma=1.5)
+        assert all(_draw_activity_count(params, rng) >= 1 for _ in range(500))
+
+
+class TestWallTrace:
+    def test_receivers_are_friends(self):
+        rng = random.Random(4)
+        graph = barabasi_albert(60, 2, rng)
+        trace = synthesize_wall_trace(graph, TraceParams(), rng)
+        for act in trace:
+            assert graph.has_edge(act.creator, act.receiver)
+
+    def test_timestamps_within_trace_days(self):
+        rng = random.Random(5)
+        graph = barabasi_albert(40, 2, rng)
+        params = TraceParams(trace_days=7)
+        trace = synthesize_wall_trace(graph, params, rng)
+        assert trace.end < 7 * DAY_SECONDS
+
+    def test_partner_skew(self):
+        rng = random.Random(6)
+        graph = barabasi_albert(50, 5, rng)
+        params = TraceParams(activities_mean=200, partner_zipf_alpha=1.5)
+        trace = synthesize_wall_trace(graph, params, rng)
+        # Pick a user with many received posts; his interaction counts
+        # should be skewed (top partner well above the mean count).
+        best_user = max(graph.users(), key=lambda u: len(trace.received_by(u)))
+        counts = Counter(trace.interaction_counts(best_user))
+        top = counts.most_common(1)[0][1]
+        mean = sum(counts.values()) / len(counts)
+        assert top > 1.5 * mean
+
+    def test_deterministic_under_seed(self):
+        graph = barabasi_albert(30, 2, random.Random(7))
+        t1 = synthesize_wall_trace(graph, TraceParams(), random.Random(8))
+        t2 = synthesize_wall_trace(graph, TraceParams(), random.Random(8))
+        assert t1.activities == t2.activities
+
+
+class TestTweetTrace:
+    def test_receivers_are_followees(self):
+        rng = random.Random(9)
+        graph = preferential_follower_graph(60, 3, rng)
+        trace = synthesize_tweet_trace(graph, TraceParams(), rng)
+        for act in trace:
+            assert graph.has_follow(act.creator, act.receiver)
+
+    def test_received_activity_comes_from_followers(self):
+        rng = random.Random(10)
+        graph = preferential_follower_graph(60, 3, rng)
+        trace = synthesize_tweet_trace(graph, TraceParams(), rng)
+        for user in graph.users():
+            for creator in trace.interaction_counts(user):
+                assert creator in graph.followers(user)

@@ -1,0 +1,72 @@
+"""Tests for the plain-text report rendering."""
+
+import math
+
+from repro.experiments import ExperimentResult, ResultTable, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("name", "value"), [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All lines equally wide (aligned columns).
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_header_and_separator(self):
+        text = format_table(("x",), [(1,)])
+        lines = text.splitlines()
+        assert lines[0].strip() == "x"
+        assert set(lines[1].strip()) == {"-"}
+
+    def test_float_formatting(self):
+        text = format_table(("v",), [(0.123456,)])
+        assert "0.123" in text
+        assert "0.1234" not in text
+
+    def test_integral_float_rendered_as_int(self):
+        assert "3\n" in format_table(("v",), [(3.0,)]) + "\n"
+
+    def test_none_and_inf(self):
+        text = format_table(("a", "b"), [(None, math.inf)])
+        assert "-" in text
+        assert "inf" in text
+
+    def test_indent(self):
+        text = format_table(("x",), [(1,)], indent="  ")
+        assert all(line.startswith("  ") for line in text.splitlines())
+
+    def test_strings_pass_through(self):
+        assert "hello" in format_table(("s",), [("hello",)])
+
+
+class TestResultTable:
+    def test_render_contains_caption(self):
+        table = ResultTable("my caption", ("a",), [(1,)])
+        out = table.render()
+        assert out.startswith("my caption")
+        assert "a" in out
+
+
+class TestExperimentResult:
+    def test_add_table_and_render(self):
+        result = ExperimentResult(
+            experiment_id="figX",
+            title="Title",
+            description="Desc",
+            paper_expectation="should go up",
+        )
+        result.add_table("t1", ("k", "v"), [(1, 2), (3, 4)])
+        out = result.render()
+        assert "=== figX: Title ===" in out
+        assert "Desc" in out
+        assert "should go up" in out
+        assert "t1" in out
+        assert result.tables[0].rows == [(1, 2), (3, 4)]
+
+    def test_render_without_expectation(self):
+        result = ExperimentResult("id", "T", "D")
+        assert "Paper expectation" not in result.render()
+
+    def test_data_dict_defaults_empty(self):
+        assert ExperimentResult("id", "T", "D").data == {}

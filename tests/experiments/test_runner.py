@@ -1,0 +1,78 @@
+"""Tests for batch running and JSON serialisation."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments import jsonify, result_to_dict, run_batch
+from repro.experiments.report import ExperimentResult
+from tests.experiments.test_config_and_registry import TINY
+
+
+class TestJsonify:
+    def test_primitives(self):
+        assert jsonify(5) == 5
+        assert jsonify("x") == "x"
+        assert jsonify(None) is None
+        assert jsonify(1.5) == 1.5
+        assert jsonify(True) is True
+
+    def test_non_finite_floats_become_strings(self):
+        assert jsonify(math.inf) == "inf"
+        assert jsonify(-math.inf) == "-inf"
+        assert jsonify(math.nan) == "nan"
+
+    def test_containers(self):
+        assert jsonify((1, 2)) == [1, 2]
+        assert jsonify({1: (2, 3)}) == {"1": [2, 3]}
+
+    def test_dataclass(self):
+        from repro.core.fairness import FairnessReport
+
+        report = FairnessReport(
+            num_hosts=2,
+            total_load=3,
+            mean_load=1.5,
+            max_load=2,
+            jain=0.9,
+            gini=0.1,
+            top_decile_share=0.6,
+        )
+        out = jsonify(report)
+        assert out["num_hosts"] == 2
+        assert out["jain"] == 0.9
+
+    def test_fallback_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert jsonify(Odd()) == "<odd>"
+
+
+class TestResultToDict:
+    def test_round_trips_through_json(self):
+        result = ExperimentResult("idx", "T", "D", paper_expectation="E")
+        result.add_table("cap", ("a", "b"), [(1, math.inf)])
+        result.data["series"] = [1.0, 2.0]
+        blob = json.dumps(result_to_dict(result))
+        parsed = json.loads(blob)
+        assert parsed["experiment_id"] == "idx"
+        assert parsed["tables"][0]["rows"][0] == [1, "inf"]
+        assert parsed["data"]["series"] == [1.0, 2.0]
+
+
+class TestRunBatch:
+    def test_writes_txt_and_json(self, tmp_path):
+        written = run_batch(tmp_path, scale=TINY, ids=["table1", "x1"])
+        names = sorted(p.name for p in written)
+        assert names == ["table1.json", "table1.txt", "x1.json", "x1.txt"]
+        parsed = json.loads((tmp_path / "x1.json").read_text())
+        assert parsed["experiment_id"] == "x1"
+        assert "DES" in (tmp_path / "x1.txt").read_text()
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        run_batch(target, scale=TINY, ids=["table1"])
+        assert (target / "table1.txt").exists()

@@ -1,0 +1,160 @@
+"""Tests for the random graph generators."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    erdos_renyi,
+    preferential_follower_graph,
+    ring_of_cliques,
+)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_edge_count(self):
+        g = barabasi_albert(100, 3, random.Random(1))
+        assert g.num_users == 100
+        # seed clique C(4,2)=6 edges + 3 per each of the 96 arrivals.
+        assert g.num_edges == 6 + 3 * 96
+
+    def test_min_degree(self):
+        g = barabasi_albert(80, 2, random.Random(7))
+        assert all(g.degree(u) >= 2 for u in g.users())
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(600, 3, random.Random(3))
+        max_deg = max(g.degree(u) for u in g.users())
+        # Preferential attachment produces hubs well above the average.
+        assert max_deg > 4 * g.average_degree()
+
+    def test_deterministic_under_seed(self):
+        a = barabasi_albert(50, 2, random.Random(42))
+        b = barabasi_albert(50, 2, random.Random(42))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0, random.Random(0))
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3, random.Random(0))
+
+
+class TestErdosRenyi:
+    def test_extremes(self):
+        rng = random.Random(0)
+        empty = erdos_renyi(10, 0.0, rng)
+        full = erdos_renyi(10, 1.0, rng)
+        assert empty.num_edges == 0
+        assert full.num_edges == 45
+
+    def test_invalid_prob(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5, random.Random(0))
+
+
+class TestPreferentialFollowerGraph:
+    def test_size_and_out_degree(self):
+        g = preferential_follower_graph(100, 4, random.Random(5))
+        assert g.num_users == 100
+        # Every non-seed user follows exactly 4 others.
+        for u in range(5, 100):
+            assert len(g.followees(u)) == 4
+
+    def test_follower_heavy_tail(self):
+        g = preferential_follower_graph(600, 4, random.Random(11))
+        max_followers = max(g.degree(u) for u in g.users())
+        assert max_followers > 3 * g.average_degree()
+
+    def test_deterministic_under_seed(self):
+        a = preferential_follower_graph(60, 3, random.Random(9))
+        b = preferential_follower_graph(60, 3, random.Random(9))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            preferential_follower_graph(10, 0, random.Random(0))
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g = ring_of_cliques(3, 4)
+        assert g.num_users == 12
+        # 3 cliques of C(4,2)=6 edges + 3 bridges.
+        assert g.num_edges == 18 + 3
+
+    def test_single_clique(self):
+        g = ring_of_cliques(1, 3)
+        assert g.num_users == 3
+        assert g.num_edges == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(0, 3)
+        with pytest.raises(ValueError):
+            ring_of_cliques(2, 1)
+
+
+class TestPowerlawDegreeSequence:
+    def test_sum_even_and_bounds(self):
+        from repro.graph import powerlaw_degree_sequence
+
+        degrees = powerlaw_degree_sequence(500, 2.2, random.Random(1))
+        assert sum(degrees) % 2 == 0
+        assert all(d >= 1 for d in degrees)
+
+    def test_low_degree_mass(self):
+        from repro.graph import powerlaw_degree_sequence
+
+        degrees = powerlaw_degree_sequence(2000, 2.2, random.Random(2))
+        # A power law with alpha ~ 2.2 puts most mass at the minimum.
+        assert sum(1 for d in degrees if d == 1) > len(degrees) / 3
+
+    def test_invalid_args(self):
+        from repro.graph import powerlaw_degree_sequence
+
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(10, 1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(10, 2.0, random.Random(0), min_degree=0)
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(
+                10, 2.0, random.Random(0), min_degree=5, max_degree=5
+            )
+
+
+class TestConfigurationGraph:
+    def test_realises_degrees_approximately(self):
+        from repro.graph import configuration_graph, powerlaw_degree_sequence
+
+        rng = random.Random(3)
+        degrees = powerlaw_degree_sequence(800, 2.2, rng)
+        g = configuration_graph(degrees, rng)
+        assert g.num_users == 800
+        # Self-loop/duplicate discards lose only a small fraction of edges.
+        assert g.num_edges >= 0.85 * (sum(degrees) / 2)
+
+    def test_contains_low_degree_users(self):
+        from repro.graph import configuration_graph, powerlaw_degree_sequence
+
+        rng = random.Random(4)
+        g = configuration_graph(powerlaw_degree_sequence(1500, 2.2, rng), rng)
+        assert len(g.users_with_degree(1, max_degree=10)) > 100
+
+
+class TestPowerlawFollowerGraph:
+    def test_shape(self):
+        from repro.graph import powerlaw_follower_graph
+
+        g = powerlaw_follower_graph(400, 2.0, random.Random(6))
+        assert g.num_users == 400
+        max_in = max(g.degree(u) for u in g.users())
+        assert max_in > 3 * g.average_degree()
+
+    def test_deterministic(self):
+        from repro.graph import powerlaw_follower_graph
+
+        a = powerlaw_follower_graph(100, 2.1, random.Random(8))
+        b = powerlaw_follower_graph(100, 2.1, random.Random(8))
+        assert sorted(a.edges()) == sorted(b.edges())

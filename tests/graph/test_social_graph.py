@@ -1,0 +1,169 @@
+"""Unit tests for SocialGraph and FollowerGraph."""
+
+import pytest
+
+from repro.graph import FollowerGraph, SocialGraph
+
+
+class TestSocialGraph:
+    def test_empty(self):
+        g = SocialGraph()
+        assert g.num_users == 0
+        assert g.num_edges == 0
+        assert len(g) == 0
+        assert g.average_degree() == 0.0
+
+    def test_add_user_idempotent(self):
+        g = SocialGraph()
+        g.add_user(1)
+        g.add_user(1)
+        assert g.num_users == 1
+        assert 1 in g
+
+    def test_add_edge_creates_users(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        assert g.num_users == 2
+        assert g.num_edges == 1
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+
+    def test_add_edge_idempotent(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = SocialGraph()
+        with pytest.raises(ValueError):
+            g.add_edge(3, 3)
+
+    def test_neighbors_symmetric(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert g.neighbors(1) == frozenset({2, 3})
+        assert g.neighbors(2) == frozenset({1})
+        assert g.replica_candidates(1) == g.neighbors(1)
+
+    def test_degree(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        g.add_user(9)
+        assert g.degree(1) == 2
+        assert g.degree(9) == 0
+
+    def test_remove_user(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.remove_user(2)
+        assert 2 not in g
+        assert g.neighbors(1) == frozenset()
+        assert g.num_edges == 0
+
+    def test_degree_histogram(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        g.add_user(4)
+        assert g.degree_histogram() == {2: 1, 1: 2, 0: 1}
+
+    def test_average_degree(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        assert g.average_degree() == 1.0
+
+    def test_users_with_degree(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert g.users_with_degree(1) == [2, 3]
+        assert g.users_with_degree(2) == [1]
+        assert g.users_with_degree(1, max_degree=2) == [1, 2, 3]
+
+    def test_subgraph(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(3, 1)
+        sub = g.subgraph({1, 2})
+        assert sub.num_users == 2
+        assert sub.num_edges == 1
+        assert sub.has_edge(1, 2)
+        assert 3 not in sub
+
+    def test_subgraph_keeps_isolated_members(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_user(5)
+        sub = g.subgraph({1, 5})
+        assert 5 in sub
+        assert sub.degree(1) == 0
+
+    def test_edges_listed_once(self):
+        g = SocialGraph()
+        g.add_edge(2, 1)
+        g.add_edge(2, 3)
+        assert sorted(g.edges()) == [(1, 2), (2, 3)]
+
+
+class TestFollowerGraph:
+    def test_add_follow(self):
+        g = FollowerGraph()
+        g.add_follow(1, 2)  # 1 follows 2
+        assert g.followers(2) == frozenset({1})
+        assert g.followees(1) == frozenset({2})
+        assert g.followers(1) == frozenset()
+        assert g.has_follow(1, 2)
+        assert not g.has_follow(2, 1)
+
+    def test_degree_is_follower_count(self):
+        g = FollowerGraph()
+        g.add_follow(1, 3)
+        g.add_follow(2, 3)
+        assert g.degree(3) == 2
+        assert g.degree(1) == 0
+        assert g.replica_candidates(3) == frozenset({1, 2})
+
+    def test_self_follow_rejected(self):
+        g = FollowerGraph()
+        with pytest.raises(ValueError):
+            g.add_follow(1, 1)
+
+    def test_idempotent(self):
+        g = FollowerGraph()
+        g.add_follow(1, 2)
+        g.add_follow(1, 2)
+        assert g.num_edges == 1
+
+    def test_remove_user(self):
+        g = FollowerGraph()
+        g.add_follow(1, 2)
+        g.add_follow(2, 3)
+        g.remove_user(2)
+        assert 2 not in g
+        assert g.followers(3) == frozenset()
+        assert g.followees(1) == frozenset()
+
+    def test_histogram_and_average(self):
+        g = FollowerGraph()
+        g.add_follow(1, 3)
+        g.add_follow(2, 3)
+        assert g.degree_histogram() == {2: 1, 0: 2}
+        assert g.average_degree() == pytest.approx(2 / 3)
+
+    def test_subgraph(self):
+        g = FollowerGraph()
+        g.add_follow(1, 2)
+        g.add_follow(3, 2)
+        sub = g.subgraph({1, 2})
+        assert sub.followers(2) == frozenset({1})
+        assert 3 not in sub
+
+    def test_edges_direction(self):
+        g = FollowerGraph()
+        g.add_follow(7, 9)
+        assert list(g.edges()) == [(7, 9)]

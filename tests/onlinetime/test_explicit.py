@@ -1,0 +1,111 @@
+"""Tests for the explicit-session online-time model."""
+
+import io
+
+import pytest
+
+from repro.datasets import ActivityTrace, Dataset
+from repro.graph import SocialGraph
+from repro.onlinetime import (
+    ExplicitScheduleModel,
+    load_session_log,
+    make_model,
+    model_names,
+    sessions_to_schedule,
+)
+from repro.timeline import DAY_SECONDS, HOUR_SECONDS, IntervalSet
+
+
+def _dataset():
+    g = SocialGraph()
+    g.add_edge(1, 2)
+    return Dataset("t", "facebook", g, ActivityTrace([]))
+
+
+class TestSessionsToSchedule:
+    def test_single_session(self):
+        sched = sessions_to_schedule([(3600, 7200)])
+        assert sched.intervals == ((3600, 7200),)
+
+    def test_union_of_sessions(self):
+        sched = sessions_to_schedule([(0, 100), (50, 200), (5000, 6000)])
+        assert sched.measure == 200 + 1000
+
+    def test_absolute_times_project_to_day(self):
+        sched = sessions_to_schedule([(DAY_SECONDS + 3600, DAY_SECONDS + 7200)])
+        assert sched.contains(4000)
+
+    def test_midnight_wrapping_session(self):
+        sched = sessions_to_schedule([(DAY_SECONDS - 100, DAY_SECONDS + 100)])
+        assert sched.measure == pytest.approx(200)
+        assert sched.contains(0)
+
+    def test_daylong_session_covers_everything(self):
+        assert sessions_to_schedule([(0, 2 * DAY_SECONDS)]) == IntervalSet.full_day()
+
+    def test_invalid_session(self):
+        with pytest.raises(ValueError):
+            sessions_to_schedule([(100, 50)])
+
+    def test_empty(self):
+        assert sessions_to_schedule([]).is_empty
+
+
+class TestExplicitScheduleModel:
+    def test_schedule_lookup(self):
+        model = ExplicitScheduleModel({1: [(0, 3600)]})
+        ds = _dataset()
+        assert model.schedule(1, ds, seed=0).measure == 3600
+        assert model.schedule(2, ds, seed=0).is_empty
+
+    def test_seed_independent(self):
+        model = ExplicitScheduleModel({1: [(0, 3600)]})
+        ds = _dataset()
+        assert model.schedule(1, ds, 0) == model.schedule(1, ds, 99)
+
+    def test_registered(self):
+        assert "explicit" in model_names()
+        model = make_model("explicit", sessions={1: [(0, 60)]})
+        assert isinstance(model, ExplicitScheduleModel)
+        assert "1 users" in model.describe()
+
+
+class TestLoadSessionLog:
+    def test_parse(self):
+        text = "# comment\n1 0 3600\n1 7200 10800\n2 100 200\n"
+        log = load_session_log(io.StringIO(text))
+        assert log == {1: [(0.0, 3600.0), (7200.0, 10800.0)], 2: [(100.0, 200.0)]}
+
+    def test_rejects_short_line(self):
+        with pytest.raises(ValueError):
+            load_session_log(io.StringIO("1 2\n"))
+
+    def test_rejects_inverted_session(self):
+        with pytest.raises(ValueError):
+            load_session_log(io.StringIO("1 100 50\n"))
+
+    def test_end_to_end_with_pipeline(self):
+        """A session log drives placement exactly like an inferred model."""
+        from repro.core import CONREP, PlacementContext, make_policy
+        import random
+
+        log = {
+            0: [(0, 2 * HOUR_SECONDS)],
+            1: [(1 * HOUR_SECONDS, 4 * HOUR_SECONDS)],
+            2: [(10 * HOUR_SECONDS, 12 * HOUR_SECONDS)],
+        }
+        model = ExplicitScheduleModel(log)
+        g = SocialGraph()
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        ds = Dataset("t", "facebook", g, ActivityTrace([]))
+        schedules = {u: model.schedule(u, ds, 0) for u in (0, 1, 2)}
+        ctx = PlacementContext(
+            dataset=ds,
+            schedules=schedules,
+            user=0,
+            mode=CONREP,
+            rng=random.Random(0),
+        )
+        picked = make_policy("maxav").select(ctx, 2)
+        assert picked == (1,)  # 2 is time-disconnected from the owner

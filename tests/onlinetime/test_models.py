@@ -1,0 +1,205 @@
+"""Tests for the three online-time models."""
+
+import pytest
+
+from repro.datasets import Activity, ActivityTrace, Dataset
+from repro.graph import SocialGraph
+from repro.onlinetime import (
+    DEFAULT_SESSION_SECONDS,
+    FixedLengthModel,
+    RandomLengthModel,
+    SporadicModel,
+    best_window_start,
+    compute_schedules,
+    make_model,
+    model_names,
+    user_rng,
+)
+from repro.timeline import DAY_SECONDS, HOUR_SECONDS
+
+
+def _dataset(activities):
+    """Minimal two-user facebook dataset carrying the given activities."""
+    g = SocialGraph()
+    g.add_edge(1, 2)
+    return Dataset("t", "facebook", g, ActivityTrace(activities))
+
+
+def _act(t, creator=1, receiver=2):
+    return Activity(timestamp=t, creator=creator, receiver=receiver)
+
+
+class TestUserRng:
+    def test_stable_per_user(self):
+        assert user_rng(7, 1).random() == user_rng(7, 1).random()
+
+    def test_differs_across_users_and_seeds(self):
+        assert user_rng(7, 1).random() != user_rng(7, 2).random()
+        assert user_rng(7, 1).random() != user_rng(8, 1).random()
+
+
+class TestSporadic:
+    def test_activity_instant_inside_session(self):
+        ds = _dataset([_act(3 * HOUR_SECONDS)])
+        model = SporadicModel()
+        for seed in range(20):
+            sched = model.schedule(1, ds, seed)
+            assert sched.contains(3 * HOUR_SECONDS)
+            assert sched.measure == DEFAULT_SESSION_SECONDS
+
+    def test_sessions_union(self):
+        # Two far-apart activities -> two disjoint sessions.
+        ds = _dataset([_act(2 * HOUR_SECONDS), _act(14 * HOUR_SECONDS)])
+        sched = SporadicModel().schedule(1, ds, 0)
+        assert sched.measure == 2 * DEFAULT_SESSION_SECONDS
+
+    def test_overlapping_sessions_merge(self):
+        ds = _dataset([_act(3600), _act(3660)])  # one minute apart
+        sched = SporadicModel().schedule(1, ds, 0)
+        assert sched.measure < 2 * DEFAULT_SESSION_SECONDS
+
+    def test_no_activity_means_never_online(self):
+        ds = _dataset([_act(100, creator=1)])
+        assert SporadicModel().schedule(2, ds, 0).is_empty
+
+    def test_session_wrapping_midnight(self):
+        ds = _dataset([_act(10)])  # just after midnight
+        sched = SporadicModel(3600).schedule(1, ds, 0)
+        assert sched.measure == pytest.approx(3600)
+        assert sched.contains(10)
+
+    def test_custom_session_length(self):
+        ds = _dataset([_act(7 * HOUR_SECONDS)])
+        sched = SporadicModel(100).schedule(1, ds, 0)
+        assert sched.measure == 100
+
+    def test_multi_day_activities_project_to_one_day(self):
+        ds = _dataset([_act(3600), _act(DAY_SECONDS + 3600)])
+        sched = SporadicModel().schedule(1, ds, 0)
+        # Both activities are at 01:00 of their day; sessions overlap there.
+        assert sched.measure < 2 * DEFAULT_SESSION_SECONDS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SporadicModel(0)
+        with pytest.raises(ValueError):
+            SporadicModel(DAY_SECONDS + 1)
+
+    def test_deterministic_per_seed(self):
+        ds = _dataset([_act(5000), _act(60000)])
+        model = SporadicModel()
+        assert model.schedule(1, ds, 3) == model.schedule(1, ds, 3)
+        assert model.schedule(1, ds, 3) != model.schedule(1, ds, 4)
+
+
+class TestBestWindowStart:
+    def test_covers_cluster(self):
+        instants = [100, 200, 300, 50000]
+        start = best_window_start(instants, 1000)
+        assert start == 100  # anchored at first point of the dense cluster
+
+    def test_circular_cluster_across_midnight(self):
+        instants = [DAY_SECONDS - 100, DAY_SECONDS - 50, 20, 40000]
+        start = best_window_start(instants, 300)
+        window_points = [
+            p
+            for p in instants
+            if (p - start) % DAY_SECONDS <= 300
+        ]
+        assert len(window_points) == 3
+
+    def test_empty_falls_back_to_evening(self):
+        start = best_window_start([], 2 * HOUR_SECONDS)
+        assert start == 19 * HOUR_SECONDS  # 20:00 centre - 1h
+
+    def test_single_instant(self):
+        assert best_window_start([42.0], 100) == 42.0
+
+
+class TestFixedLength:
+    def test_measure_is_window_length(self):
+        ds = _dataset([_act(10 * HOUR_SECONDS)])
+        for hours in (2, 4, 6, 8):
+            sched = FixedLengthModel(hours).schedule(1, ds, 0)
+            assert sched.measure == hours * HOUR_SECONDS
+
+    def test_window_covers_activity_majority(self):
+        acts = [_act(14 * HOUR_SECONDS + i * 60) for i in range(10)]
+        acts.append(_act(2 * HOUR_SECONDS))
+        sched = FixedLengthModel(2).schedule(1, _dataset(acts), 0)
+        assert sched.contains(14 * HOUR_SECONDS + 5 * 60)
+        assert not sched.contains(2 * HOUR_SECONDS)
+
+    def test_deterministic_no_seed_effect(self):
+        ds = _dataset([_act(3600 * i) for i in range(1, 6)])
+        model = FixedLengthModel(4)
+        assert model.schedule(1, ds, 0) == model.schedule(1, ds, 99)
+
+    def test_24h_window_is_full_day(self):
+        ds = _dataset([_act(100)])
+        assert FixedLengthModel(24).schedule(1, ds, 0).measure == DAY_SECONDS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedLengthModel(0)
+        with pytest.raises(ValueError):
+            FixedLengthModel(25)
+
+    def test_name_carries_hours(self):
+        assert FixedLengthModel(2).name == "fixedlength-2h"
+
+
+class TestRandomLength:
+    def test_length_in_range(self):
+        ds = _dataset([_act(10 * HOUR_SECONDS)])
+        model = RandomLengthModel()
+        for seed in range(10):
+            sched = model.schedule(1, ds, seed)
+            assert 2 * HOUR_SECONDS <= sched.measure <= 8 * HOUR_SECONDS
+
+    def test_lengths_vary_across_users(self):
+        acts = [_act(3600, creator=1), _act(3600, creator=2, receiver=1)]
+        ds = _dataset(acts)
+        m = RandomLengthModel()
+        lengths = {m.schedule(u, ds, 0).measure for u in (1, 2)}
+        assert len(lengths) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomLengthModel(0, 8)
+        with pytest.raises(ValueError):
+            RandomLengthModel(9, 8)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert model_names() == [
+            "explicit",
+            "fixedlength",
+            "randomlength",
+            "sporadic",
+        ]
+
+    def test_make_model_with_kwargs(self):
+        model = make_model("fixedlength", hours=2)
+        assert isinstance(model, FixedLengthModel)
+        assert model.hours == 2
+        assert isinstance(make_model("SPORADIC"), SporadicModel)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            make_model("diurnal")
+
+    def test_describe(self):
+        assert "2" in make_model("fixedlength", hours=2).describe()
+        assert "sporadic" in make_model("sporadic").describe()
+        assert "randomlength" in make_model("randomlength").describe()
+
+
+class TestComputeSchedules:
+    def test_covers_all_users(self):
+        acts = [_act(3600 + i, creator=1) for i in range(3)]
+        ds = _dataset(acts)
+        schedules = compute_schedules(ds, SporadicModel(), seed=0)
+        assert set(schedules) == {1, 2}
+        assert schedules[2].is_empty

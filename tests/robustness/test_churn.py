@@ -1,0 +1,134 @@
+"""Tests for schedule churn injection and the robustness sweep."""
+
+import random
+
+import pytest
+
+from repro.core import make_policy, select_cohort
+from repro.datasets import synthetic_facebook
+from repro.onlinetime import SporadicModel
+from repro.robustness import (
+    ChurnParams,
+    churn_sweep,
+    perturb_schedule,
+    perturb_schedules,
+)
+from repro.timeline import HOUR_SECONDS, IntervalSet
+
+import functools
+
+
+def _hours(start, end):
+    return IntervalSet([(start * HOUR_SECONDS, end * HOUR_SECONDS)])
+
+
+@functools.lru_cache(maxsize=1)
+def _dataset():
+    return synthetic_facebook(600, seed=31)
+
+
+class TestChurnParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnParams(session_miss_prob=1.5)
+        with pytest.raises(ValueError):
+            ChurnParams(session_miss_prob=-0.1)
+        with pytest.raises(ValueError):
+            ChurnParams(jitter_seconds=-1)
+
+
+class TestPerturbSchedule:
+    def test_identity_without_churn(self):
+        sched = _hours(1, 3)
+        out = perturb_schedule(sched, ChurnParams(), random.Random(0))
+        assert out is sched
+
+    def test_all_sessions_missed(self):
+        sched = IntervalSet([(0, 100), (200, 300)], wrap=False)
+        params = ChurnParams(session_miss_prob=1.0)
+        assert perturb_schedule(sched, params, random.Random(0)).is_empty
+
+    def test_partial_miss_reduces_measure(self):
+        sched = IntervalSet([(i * 1000, i * 1000 + 100) for i in range(20)])
+        params = ChurnParams(session_miss_prob=0.5)
+        out = perturb_schedule(sched, params, random.Random(1))
+        assert 0 < out.measure < sched.measure
+
+    def test_jitter_preserves_total_time(self):
+        sched = _hours(10, 12)
+        params = ChurnParams(jitter_seconds=600)
+        out = perturb_schedule(sched, params, random.Random(2))
+        assert out.measure == pytest.approx(sched.measure)
+        assert out != sched  # shifted somewhere
+
+    def test_jitter_can_wrap_midnight(self):
+        sched = IntervalSet([(0, 3600)], wrap=False)
+        params = ChurnParams(jitter_seconds=3600)
+        for seed in range(10):
+            out = perturb_schedule(sched, params, random.Random(seed))
+            assert out.measure == pytest.approx(3600)
+
+
+class TestPerturbSchedules:
+    def test_per_user_independent_and_deterministic(self):
+        schedules = {1: _hours(0, 2), 2: _hours(0, 2)}
+        params = ChurnParams(jitter_seconds=1800)
+        a = perturb_schedules(schedules, params, seed=5)
+        b = perturb_schedules(schedules, params, seed=5)
+        assert a == b
+        assert a[1] != a[2]  # independent draws per user
+
+
+class TestChurnSweep:
+    def test_zero_churn_is_nominal_and_degradation_monotoneish(self):
+        ds = _dataset()
+        users = select_cohort(ds, 8, max_users=10) or select_cohort(
+            ds, 6, max_users=10
+        )
+        sweep = churn_sweep(
+            ds,
+            SporadicModel(),
+            [make_policy("maxav")],
+            k=3,
+            users=users,
+            miss_probs=[0.0, 0.5, 1.0],
+            seed=0,
+            repeats=2,
+        )
+        series = sweep["maxav"]
+        avail = [a.availability for a in series]
+        # Full churn: only schedules with all sessions missed remain ->
+        # availability collapses to ~0 (everyone offline).
+        assert avail[2] == pytest.approx(0.0, abs=1e-9)
+        # Half the sessions missing strictly hurts availability.
+        assert avail[1] < avail[0]
+
+    def test_policies_all_present(self):
+        ds = _dataset()
+        users = select_cohort(ds, 8, max_users=6) or select_cohort(
+            ds, 6, max_users=6
+        )
+        policies = [make_policy("maxav"), make_policy("random")]
+        sweep = churn_sweep(
+            ds,
+            SporadicModel(),
+            policies,
+            k=2,
+            users=users,
+            miss_probs=[0.0, 0.3],
+            seed=1,
+        )
+        assert set(sweep) == {"maxav", "random"}
+        assert all(len(s) == 2 for s in sweep.values())
+
+    def test_empty_cohort_rejected(self):
+        ds = _dataset()
+        with pytest.raises(ValueError):
+            churn_sweep(
+                ds,
+                SporadicModel(),
+                [make_policy("maxav")],
+                k=2,
+                users=[],
+                miss_probs=[0.0],
+            )

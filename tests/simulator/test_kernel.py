@@ -1,0 +1,118 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simulator import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(5.0, order.append, "b")
+        sim.schedule_at(1.0, order.append, "a")
+        sim.schedule_at(9.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+        assert sim.now == 4.0
+
+    def test_same_time_priority_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, order.append, "late", priority=1)
+        sim.schedule_at(1.0, order.append, "early", priority=-1)
+        sim.schedule_at(1.0, order.append, "mid", priority=0)
+        sim.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_same_time_same_priority_fifo(self):
+        sim = Simulator()
+        order = []
+        for name in ("first", "second", "third"):
+            sim.schedule_at(1.0, order.append, name)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_in(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_in(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [15.0]
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        order = []
+
+        def chain(n):
+            order.append(n)
+            if n < 3:
+                sim.schedule_in(1.0, chain, n + 1)
+
+        sim.schedule_at(0.0, chain, 0)
+        sim.run()
+        assert order == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_executed == 0
+
+
+class TestRunBounds:
+    def test_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, fired.append, "in")
+        sim.schedule_at(100.0, fired.append, "out")
+        sim.run(until=50.0)
+        assert fired == ["in"]
+        assert sim.now == 50.0
+        assert sim.pending == 1
+
+    def test_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(50.0, fired.append, "edge")
+        sim.run(until=50.0)
+        assert fired == ["edge"]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule_at(float(i), fired.append, i)
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 5

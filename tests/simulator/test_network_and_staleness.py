@@ -1,0 +1,193 @@
+"""Tests for network latency models and read (feed) staleness."""
+
+import random
+
+import pytest
+
+from repro.datasets import Activity, ActivityTrace, Dataset
+from repro.graph import SocialGraph
+from repro.simulator import (
+    ConstantLatency,
+    DecentralizedOSN,
+    NoLatency,
+    ReplayConfig,
+    UniformLatency,
+)
+from repro.timeline import HOUR_SECONDS, IntervalSet
+
+
+def _hours(start, end):
+    return IntervalSet([(start * HOUR_SECONDS, end * HOUR_SECONDS)])
+
+
+def _star_dataset(num_friends, activities=()):
+    g = SocialGraph()
+    for f in range(1, num_friends + 1):
+        g.add_edge(0, f)
+    return Dataset("t", "facebook", g, ActivityTrace(activities))
+
+
+class TestLatencyModels:
+    def test_no_latency(self):
+        assert NoLatency().sample(random.Random(0)) == 0.0
+        assert "no-latency" in NoLatency().describe()
+
+    def test_constant(self):
+        model = ConstantLatency(2.5)
+        assert model.sample(random.Random(0)) == 2.5
+        assert "2.5" in model.describe()
+        with pytest.raises(ValueError):
+            ConstantLatency(-1)
+
+    def test_uniform(self):
+        model = UniformLatency(1.0, 3.0)
+        rng = random.Random(1)
+        draws = [model.sample(rng) for _ in range(100)]
+        assert all(1.0 <= d <= 3.0 for d in draws)
+        assert len(set(draws)) > 1
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0, 1.0)
+
+
+class TestLatencyInReplay:
+    def _acts(self):
+        return [
+            Activity(timestamp=int(0.5 * HOUR_SECONDS), creator=1, receiver=0)
+        ]
+
+    def _schedules(self):
+        # Owner [0,2), replica overlaps [1,3).
+        return {0: _hours(0, 2), 1: _hours(1, 3)}
+
+    def test_small_latency_delays_arrival(self):
+        ds = _star_dataset(1, self._acts())
+        instant = DecentralizedOSN(
+            ds,
+            self._schedules(),
+            {0: (1,)},
+            config=ReplayConfig(days=2, sample_every=0, replay_reads=False),
+        ).run()
+        delayed = DecentralizedOSN(
+            ds,
+            self._schedules(),
+            {0: (1,)},
+            config=ReplayConfig(
+                days=2,
+                sample_every=0,
+                replay_reads=False,
+                latency=ConstantLatency(60.0),
+            ),
+        ).run()
+        assert delayed.incomplete_updates == 0
+        assert (
+            delayed.propagation_delays_hours[0]
+            == pytest.approx(instant.propagation_delays_hours[0] + 60 / 3600)
+        )
+
+    def test_latency_outliving_every_window_never_completes(self):
+        # The shared window is 1 h (sync fires when the replica comes
+        # online at 01:00, owner leaves at 02:00... replica window ends
+        # 03:00, transfer needs the DST online at arrival).  A 2 h
+        # latency arrives exactly as the replica goes offline — and every
+        # daily retry hits the same wall: atomic transfers don't resume,
+        # so the update never completes.  This is the latency regime the
+        # model exposes.
+        ds = _star_dataset(1, self._acts())
+        stats = DecentralizedOSN(
+            ds,
+            self._schedules(),
+            {0: (1,)},
+            config=ReplayConfig(
+                days=3,
+                sample_every=0,
+                replay_reads=False,
+                latency=ConstantLatency(2 * HOUR_SECONDS),
+            ),
+        ).run()
+        assert stats.incomplete_updates == 1
+        assert not stats.propagation_delays_hours
+
+    def test_latency_within_window_completes_with_offset(self):
+        ds = _star_dataset(1, self._acts())
+        stats = DecentralizedOSN(
+            ds,
+            self._schedules(),
+            {0: (1,)},
+            config=ReplayConfig(
+                days=2,
+                sample_every=0,
+                replay_reads=False,
+                latency=ConstantLatency(0.5 * HOUR_SECONDS),
+            ),
+        ).run()
+        assert stats.incomplete_updates == 0
+        # Sync fires at 01:00 (replica online), arrival 01:30 -> 1 h
+        # after the 00:30 post.
+        assert stats.propagation_delays_hours[0] > 0.9
+
+    def test_zero_latency_model_equals_default(self):
+        ds = _star_dataset(1, self._acts())
+        a = DecentralizedOSN(
+            ds,
+            self._schedules(),
+            {0: (1,)},
+            config=ReplayConfig(days=2, sample_every=0, replay_reads=False),
+        ).run()
+        b = DecentralizedOSN(
+            ds,
+            self._schedules(),
+            {0: (1,)},
+            config=ReplayConfig(
+                days=2,
+                sample_every=0,
+                replay_reads=False,
+                latency=ConstantLatency(0.0),
+            ),
+        ).run()
+        assert (
+            a.propagation_delays_hours == b.propagation_delays_hours
+        )
+
+
+class TestReadStaleness:
+    def test_fresh_replica_gives_zero_staleness(self):
+        # Reader 2 comes online while the owner (who holds everything
+        # immediately) is online.
+        acts = [Activity(timestamp=int(0.2 * HOUR_SECONDS), creator=1, receiver=0)]
+        ds = _star_dataset(2, acts)
+        schedules = {0: _hours(0, 4), 1: _hours(0, 1), 2: _hours(2, 3)}
+        stats = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: ()},
+            config=ReplayConfig(days=1, sample_every=0),
+        ).run()
+        assert stats.read_staleness
+        assert stats.mean_read_staleness == 0.0
+
+    def test_stale_replica_counted(self):
+        # Update posted at 00:30 to the owner; replica 1 (online [6,8))
+        # never overlaps the owner on day 0, so reader 2 reading from
+        # replica 1 at 06:00 sees 1 missing update.
+        acts = [Activity(timestamp=int(0.5 * HOUR_SECONDS), creator=2, receiver=0)]
+        ds = _star_dataset(2, acts)
+        schedules = {0: _hours(0, 1), 1: _hours(6, 8), 2: _hours(6, 7)}
+        stats = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1,)},
+            config=ReplayConfig(days=1, sample_every=0),
+        ).run()
+        assert 1 in stats.read_staleness
+
+    def test_mean_staleness_empty_is_zero(self):
+        ds = _star_dataset(1)
+        stats = DecentralizedOSN(
+            ds,
+            {0: _hours(0, 1), 1: _hours(5, 6)},
+            {0: ()},
+            config=ReplayConfig(days=1, sample_every=0, replay_reads=False),
+        ).run()
+        assert stats.mean_read_staleness == 0.0

@@ -1,0 +1,262 @@
+"""Integration tests: the DES replay against hand-built scenarios and
+against the closed-form metrics of repro.core."""
+
+import functools
+
+import pytest
+
+from repro.core import (
+    CONREP,
+    actual_propagation_delay_hours,
+    evaluate_user,
+    make_policy,
+    placement_sequences,
+    select_cohort,
+)
+from repro.core.connectivity import ReplicaGroup
+from repro.datasets import Activity, ActivityTrace, Dataset, synthetic_facebook
+from repro.graph import SocialGraph
+from repro.onlinetime import FixedLengthModel, compute_schedules
+from repro.simulator import DecentralizedOSN, ReplayConfig
+from repro.timeline import HOUR_SECONDS, IntervalSet
+
+
+def _hours(start, end):
+    return IntervalSet([(start * HOUR_SECONDS, end * HOUR_SECONDS)])
+
+
+def _star_dataset(num_friends, activities=()):
+    g = SocialGraph()
+    for f in range(1, num_friends + 1):
+        g.add_edge(0, f)
+    return Dataset("t", "facebook", g, ActivityTrace(activities))
+
+
+class TestReplayConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(days=0)
+        with pytest.raises(ValueError):
+            ReplayConfig(sample_every=-1)
+
+
+class TestWriteServing:
+    def test_write_served_when_replica_online(self):
+        acts = [Activity(timestamp=5 * HOUR_SECONDS, creator=1, receiver=0)]
+        ds = _star_dataset(1, acts)
+        schedules = {0: _hours(0, 2), 1: _hours(4, 6)}
+        osn = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1,)},
+            config=ReplayConfig(days=1, sample_every=0, replay_reads=False),
+        )
+        stats = osn.run()
+        assert stats.write_service_rate(0) == 1.0
+
+    def test_write_fails_when_nobody_online(self):
+        acts = [Activity(timestamp=12 * HOUR_SECONDS, creator=1, receiver=0)]
+        ds = _star_dataset(1, acts)
+        schedules = {0: _hours(0, 2), 1: _hours(4, 6)}
+        osn = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1,)},
+            config=ReplayConfig(days=1, sample_every=0, replay_reads=False),
+        )
+        stats = osn.run()
+        assert stats.write_service_rate(0) == 0.0
+        assert not stats.propagation_delays_hours
+
+
+class TestPropagationDelay:
+    def test_update_reaches_all_replicas_via_overlap(self):
+        # Owner [0,2), replica A [1,3), replica B [2.5,4): update posted at
+        # 00:30 reaches A at 01:00 (A online overlap), B at 02:30.
+        acts = [
+            Activity(timestamp=int(0.5 * HOUR_SECONDS), creator=1, receiver=0)
+        ]
+        ds = _star_dataset(2, acts)
+        schedules = {0: _hours(0, 2), 1: _hours(1, 3), 2: _hours(2.5, 4)}
+        osn = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1, 2)},
+            config=ReplayConfig(days=2, sample_every=0, replay_reads=False),
+        )
+        stats = osn.run()
+        assert stats.incomplete_updates == 0
+        assert stats.consistent_profiles == stats.tracked_profiles
+        assert stats.propagation_delays_hours == [pytest.approx(2.0)]
+
+    def test_empirical_delay_bounded_by_analytic_worst_case(self):
+        acts = [
+            Activity(
+                timestamp=int((0.25 + i * 0.25) * HOUR_SECONDS),
+                creator=1,
+                receiver=0,
+            )
+            for i in range(6)
+        ]
+        ds = _star_dataset(2, acts)
+        schedules = {0: _hours(0, 2), 1: _hours(1, 3), 2: _hours(2.5, 4)}
+        group = ReplicaGroup(
+            owner=0, replicas=(1, 2), schedules=schedules
+        )
+        bound = actual_propagation_delay_hours(group)
+        osn = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1, 2)},
+            config=ReplayConfig(days=3, sample_every=0, replay_reads=False),
+        )
+        stats = osn.run()
+        assert stats.propagation_delays_hours
+        assert stats.max_propagation_delay_hours <= bound + 1e-6
+
+    def test_observed_leq_actual(self):
+        acts = [
+            Activity(timestamp=int(0.5 * HOUR_SECONDS), creator=1, receiver=0)
+        ]
+        ds = _star_dataset(2, acts)
+        schedules = {0: _hours(0, 2), 1: _hours(1, 3), 2: _hours(2.5, 4)}
+        osn = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1, 2)},
+            config=ReplayConfig(days=2, sample_every=0, replay_reads=False),
+        )
+        stats = osn.run()
+        assert stats.observed_delays_hours
+        assert max(stats.observed_delays_hours) <= max(
+            stats.propagation_delays_hours
+        )
+
+
+class TestCdn:
+    def test_cdn_bridges_disconnected_replicas(self):
+        acts = [
+            Activity(timestamp=int(0.5 * HOUR_SECONDS), creator=1, receiver=0)
+        ]
+        ds = _star_dataset(1, acts)
+        # Owner [0,2) and replica [10,12) never overlap.
+        schedules = {0: _hours(0, 2), 1: _hours(10, 12)}
+        without = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1,)},
+            config=ReplayConfig(days=2, sample_every=0, replay_reads=False),
+        ).run()
+        assert without.incomplete_updates == 1
+        with_cdn = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1,)},
+            config=ReplayConfig(
+                days=2, sample_every=0, use_cdn=True, replay_reads=False
+            ),
+        ).run()
+        assert with_cdn.incomplete_updates == 0
+        # Posted 00:30, replica pulls from CDN at 10:00 -> 9.5h delay.
+        assert with_cdn.propagation_delays_hours == [pytest.approx(9.5)]
+
+
+class TestAvailabilitySampling:
+    def test_matches_schedule_union(self):
+        ds = _star_dataset(1)
+        schedules = {0: _hours(0, 6), 1: _hours(12, 18)}
+        osn = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1,)},
+            config=ReplayConfig(days=2, sample_every=600, replay_reads=False),
+        )
+        stats = osn.run()
+        # Union is 12h/day = 0.5 availability.
+        assert stats.availability_of(0) == pytest.approx(0.5, abs=0.02)
+
+
+class TestReadReplay:
+    def test_reads_recorded_for_friends(self):
+        ds = _star_dataset(2)
+        schedules = {0: _hours(0, 6), 1: _hours(3, 9), 2: _hours(12, 18)}
+        osn = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: ()},
+            config=ReplayConfig(days=1, sample_every=0),
+        )
+        stats = osn.run()
+        # Friend 1 comes online at 03:00 (owner online) -> success;
+        # friend 2 at 12:00 (owner offline) -> failure.
+        assert stats.reads[0].total == 2
+        assert stats.reads[0].hits == 1
+
+
+class TestCrossValidation:
+    """DES measurements agree with the closed-form §II-C metrics."""
+
+    @functools.lru_cache(maxsize=1)
+    def _setup(self):
+        ds = synthetic_facebook(500, seed=21)
+        model = FixedLengthModel(8)
+        schedules = compute_schedules(ds, model, seed=0)
+        users = select_cohort(ds, 10, max_users=8)
+        if not users:  # tiny dataset fallback
+            users = select_cohort(ds, 8, max_users=8)
+        policy = make_policy("maxav")
+        sequences = placement_sequences(
+            ds, schedules, users, policy, mode=CONREP, max_degree=4, seed=0
+        )
+        return ds, schedules, users, sequences
+
+    def test_empirical_availability_matches_analytic(self):
+        ds, schedules, users, sequences = self._setup()
+        osn = DecentralizedOSN(
+            ds,
+            schedules,
+            sequences,
+            config=ReplayConfig(days=1, sample_every=300, replay_reads=False),
+            tracked_profiles=users,
+        )
+        stats = osn.run()
+        for user in users:
+            analytic = evaluate_user(ds, schedules, user, sequences[user])
+            assert stats.availability_of(user) == pytest.approx(
+                analytic.availability, abs=0.03
+            )
+
+    def test_empirical_write_rate_matches_aod_activity(self):
+        ds, schedules, users, sequences = self._setup()
+        osn = DecentralizedOSN(
+            ds,
+            schedules,
+            sequences,
+            config=ReplayConfig(days=1, sample_every=0, replay_reads=False),
+            tracked_profiles=users,
+        )
+        stats = osn.run()
+        for user in users:
+            analytic = evaluate_user(ds, schedules, user, sequences[user])
+            if stats.writes.get(user) and stats.writes[user].total >= 5:
+                assert stats.write_service_rate(user) == pytest.approx(
+                    analytic.aod_activity, abs=0.02
+                )
+
+    def test_empirical_delay_bounded_by_analytic(self):
+        ds, schedules, users, sequences = self._setup()
+        osn = DecentralizedOSN(
+            ds,
+            schedules,
+            sequences,
+            config=ReplayConfig(days=3, sample_every=0, replay_reads=False),
+            tracked_profiles=users,
+        )
+        stats = osn.run()
+        worst_analytic = max(
+            evaluate_user(
+                ds, schedules, u, sequences[u]
+            ).delay_hours_actual
+            for u in users
+        )
+        assert stats.max_propagation_delay_hours <= worst_analytic + 1e-6

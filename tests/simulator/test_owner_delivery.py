@@ -1,0 +1,76 @@
+"""Tests for the owner-notification delay (paper §II requirement)."""
+
+import pytest
+
+from repro.datasets import Activity, ActivityTrace, Dataset
+from repro.graph import SocialGraph
+from repro.simulator import DecentralizedOSN, ReplayConfig
+from repro.timeline import HOUR_SECONDS, IntervalSet
+
+
+def _hours(start, end):
+    return IntervalSet([(start * HOUR_SECONDS, end * HOUR_SECONDS)])
+
+
+def _star_dataset(num_friends, activities=()):
+    g = SocialGraph()
+    for f in range(1, num_friends + 1):
+        g.add_edge(0, f)
+    return Dataset("t", "facebook", g, ActivityTrace(activities))
+
+
+class TestOwnerDelivery:
+    def test_post_while_owner_online_is_instant(self):
+        acts = [Activity(timestamp=HOUR_SECONDS, creator=1, receiver=0)]
+        ds = _star_dataset(1, acts)
+        schedules = {0: _hours(0, 2), 1: _hours(0, 2)}
+        stats = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1,)},
+            config=ReplayConfig(days=1, sample_every=0, replay_reads=False),
+        ).run()
+        assert stats.owner_delivery_delays_hours == [0.0]
+        assert stats.undelivered_to_owner == 0
+
+    def test_post_to_replica_reaches_owner_at_next_overlap(self):
+        # Post at 05:00 lands on replica 1 (owner offline); owner comes
+        # online [0,2) the NEXT day, overlapping replica [1,6): delivered
+        # at 25:00 -> 20 hours after creation.
+        acts = [Activity(timestamp=5 * HOUR_SECONDS, creator=1, receiver=0)]
+        ds = _star_dataset(1, acts)
+        schedules = {0: _hours(0, 2), 1: _hours(1, 6)}
+        stats = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1,)},
+            config=ReplayConfig(days=2, sample_every=0, replay_reads=False),
+        ).run()
+        assert stats.owner_delivery_delays_hours == [pytest.approx(20.0)]
+        assert stats.mean_owner_delivery_delay_hours == pytest.approx(20.0)
+        assert stats.max_owner_delivery_delay_hours == pytest.approx(20.0)
+
+    def test_undelivered_counted(self):
+        # Replica never overlaps the owner: the owner never learns.
+        acts = [Activity(timestamp=5 * HOUR_SECONDS, creator=1, receiver=0)]
+        ds = _star_dataset(1, acts)
+        schedules = {0: _hours(0, 2), 1: _hours(4, 6)}
+        stats = DecentralizedOSN(
+            ds,
+            schedules,
+            {0: (1,)},
+            config=ReplayConfig(days=3, sample_every=0, replay_reads=False),
+        ).run()
+        assert stats.undelivered_to_owner == 1
+        assert stats.owner_delivery_delays_hours == []
+
+    def test_empty_stats_zero_means(self):
+        ds = _star_dataset(1)
+        stats = DecentralizedOSN(
+            ds,
+            {0: _hours(0, 1), 1: _hours(1, 2)},
+            {0: (1,)},
+            config=ReplayConfig(days=1, sample_every=0, replay_reads=False),
+        ).run()
+        assert stats.mean_owner_delivery_delay_hours == 0.0
+        assert stats.max_owner_delivery_delay_hours == 0.0

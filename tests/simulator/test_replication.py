@@ -1,0 +1,132 @@
+"""Tests for replica stores and anti-entropy, incl. convergence property."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import ProfileReplication, ReplicaStore, Update
+
+
+def _update(profile=1, origin=2, seq=1, t=0.0):
+    return Update(profile=profile, origin=origin, seq=seq, created_at=t)
+
+
+class TestReplicaStore:
+    def test_apply_new(self):
+        store = ReplicaStore(profile=1, host=5)
+        assert store.apply(_update(), now=3.0)
+        assert len(store) == 1
+        assert (2, 1) in store
+        assert store.arrival_times[(2, 1)] == 3.0
+
+    def test_apply_duplicate_is_noop(self):
+        store = ReplicaStore(profile=1, host=5)
+        store.apply(_update(), now=3.0)
+        assert not store.apply(_update(), now=9.0)
+        assert store.arrival_times[(2, 1)] == 3.0  # first arrival kept
+
+    def test_apply_wrong_profile_rejected(self):
+        store = ReplicaStore(profile=1, host=5)
+        with pytest.raises(ValueError):
+            store.apply(_update(profile=2), now=0.0)
+
+    def test_updates_sorted_by_creation(self):
+        store = ReplicaStore(profile=1, host=5)
+        store.apply(_update(seq=2, t=10.0), now=11.0)
+        store.apply(_update(seq=1, t=5.0), now=12.0)
+        assert [u.seq for u in store.updates] == [1, 2]
+
+    def test_version_vector_counts_per_origin(self):
+        store = ReplicaStore(profile=1, host=5)
+        store.apply(_update(origin=2, seq=1), now=0)
+        store.apply(_update(origin=2, seq=2), now=0)
+        store.apply(_update(origin=3, seq=3), now=0)
+        assert store.version_vector() == {2: 2, 3: 1}
+
+    def test_missing_from(self):
+        a = ReplicaStore(profile=1, host=5)
+        b = ReplicaStore(profile=1, host=6)
+        u1, u2 = _update(seq=1), _update(seq=2)
+        a.apply(u1, now=0)
+        b.apply(u1, now=0)
+        b.apply(u2, now=0)
+        assert a.missing_from(b) == [u2]
+        assert b.missing_from(a) == []
+
+    def test_synchronized_with(self):
+        a = ReplicaStore(profile=1, host=5)
+        b = ReplicaStore(profile=1, host=6)
+        assert a.synchronized_with(b)
+        a.apply(_update(), now=0)
+        assert not a.synchronized_with(b)
+
+
+class TestProfileReplication:
+    def test_seq_monotonic(self):
+        group = ProfileReplication(1, hosts=[1, 2])
+        assert group.next_seq() < group.next_seq()
+
+    def test_sync_pair_bidirectional(self):
+        group = ProfileReplication(1, hosts=[1, 2])
+        group.store_of(1).apply(_update(seq=1), now=0)
+        group.store_of(2).apply(_update(seq=2), now=0)
+        moved = group.sync_pair(1, 2, now=5.0)
+        assert moved == 2
+        assert group.is_consistent()
+
+    def test_full_replication_time(self):
+        group = ProfileReplication(1, hosts=[1, 2])
+        u = _update(seq=1, t=0.0)
+        group.store_of(1).apply(u, now=0.0)
+        assert group.full_replication_time(u.uid) is None
+        group.sync_pair(1, 2, now=7.0)
+        assert group.full_replication_time(u.uid) == 7.0
+
+    def test_is_consistent_initially(self):
+        assert ProfileReplication(1, hosts=[1, 2, 3]).is_consistent()
+
+
+class TestEventualConsistency:
+    """Property: any sequence of writes followed by enough pairwise syncs
+    along a connected sync topology converges every store."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_hosts=st.integers(min_value=2, max_value=5),
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),  # host index
+                st.integers(min_value=0, max_value=100),  # pseudo time
+            ),
+            max_size=15,
+        ),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_chain_sync_converges(self, num_hosts, writes, seed):
+        hosts = list(range(1, num_hosts + 1))
+        group = ProfileReplication(profile=1, hosts=hosts)
+        for host_idx, t in writes:
+            host = hosts[host_idx % num_hosts]
+            u = Update(
+                profile=1, origin=host, seq=group.next_seq(), created_at=t
+            )
+            group.store_of(host).apply(u, now=t)
+        # A forward then backward sweep along a chain topology guarantees
+        # full convergence (left- and right-propagation respectively).
+        rng = random.Random(seed)
+        order = hosts[:]
+        rng.shuffle(order)
+        for a, b in zip(order, order[1:]):
+            group.sync_pair(a, b, now=1000.0)
+        backward = list(reversed(order))
+        for a, b in zip(backward, backward[1:]):
+            group.sync_pair(a, b, now=1001.0)
+        assert group.is_consistent()
+
+    def test_sync_idempotent(self):
+        group = ProfileReplication(1, hosts=[1, 2])
+        group.store_of(1).apply(_update(seq=1), now=0)
+        group.sync_pair(1, 2, now=1.0)
+        assert group.sync_pair(1, 2, now=2.0) == 0

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.experiment == "fig3"
+        assert args.scale == "bench"
+        assert args.output is None
+
+    def test_run_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--scale", "huge"])
+
+    def test_generate_requires_paths(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "table1" in out
+        assert "x1" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "--users", "400", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "facebook" in out
+        assert "users" in out
+
+    def test_stats_twitter(self, capsys):
+        assert (
+            main(["stats", "--dataset", "twitter", "--users", "400"]) == 0
+        )
+        assert "twitter" in capsys.readouterr().out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.txt"
+        trace_path = tmp_path / "t.txt"
+        rc = main(
+            [
+                "generate",
+                "--users",
+                "400",
+                "--seed",
+                "1",
+                "--graph",
+                str(graph_path),
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert rc == 0
+        assert graph_path.exists()
+        assert trace_path.exists()
+        # The generated files reload through the public loaders.
+        from repro.datasets import load_facebook_wall_trace
+        from repro.graph import read_friendship_graph
+
+        graph = read_friendship_graph(str(graph_path))
+        assert graph.num_users > 0
+        # Trace file format: creator receiver timestamp (one per line).
+        lines = [
+            line
+            for line in trace_path.read_text().splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(lines) > 100
+        assert len(lines[0].split()) == 3
+
+    def test_simulate_small(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--users",
+                "400",
+                "--degree",
+                "6",
+                "--cohort",
+                "4",
+                "--k",
+                "2",
+                "--days",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out + capsys.readouterr().err
+        if rc == 0:
+            assert "write service" in out
+        else:
+            # No degree-6 users in this tiny dataset: graceful error.
+            assert rc == 1
+
+    def test_simulate_unknown_degree_fails_gracefully(self, capsys):
+        rc = main(
+            ["simulate", "--users", "400", "--degree", "9999", "--days", "1"]
+        )
+        assert rc == 1
+
+    def test_run_table1_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        rc = main(["run", "table1", "--output", str(out_file)])
+        assert rc == 0
+        text = out_file.read_text()
+        assert "table1" in text
+        assert "Measured" in text
+
+    def test_run_with_plot(self, tmp_path):
+        out_file = tmp_path / "plot.txt"
+        rc = main(["run", "x1", "--plot", "--output", str(out_file)])
+        assert rc == 0
+        text = out_file.read_text()
+        # The aggregate table is numeric and must render as a chart.
+        assert "|" in text

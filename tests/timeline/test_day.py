@@ -1,0 +1,46 @@
+"""Unit tests for repro.timeline.day helpers."""
+
+from repro.timeline.day import (
+    DAY_HOURS,
+    DAY_MINUTES,
+    DAY_SECONDS,
+    HOUR_SECONDS,
+    MINUTE_SECONDS,
+    format_clock,
+    hours_to_seconds,
+    seconds_to_hours,
+    time_of_day,
+)
+
+
+def test_constants_consistent():
+    assert DAY_SECONDS == 86400
+    assert DAY_MINUTES == 1440
+    assert DAY_HOURS == 24
+    assert DAY_HOURS * HOUR_SECONDS == DAY_SECONDS
+    assert DAY_MINUTES * MINUTE_SECONDS == DAY_SECONDS
+
+
+def test_seconds_to_hours_roundtrip():
+    assert seconds_to_hours(hours_to_seconds(7.5)) == 7.5
+    assert seconds_to_hours(3600) == 1.0
+    assert hours_to_seconds(24) == DAY_SECONDS
+
+
+def test_time_of_day_projects_onto_day():
+    assert time_of_day(0) == 0
+    assert time_of_day(DAY_SECONDS) == 0
+    assert time_of_day(DAY_SECONDS + 5) == 5
+    assert time_of_day(3 * DAY_SECONDS + 7200) == 7200
+
+
+def test_time_of_day_negative_timestamp():
+    assert time_of_day(-1) == DAY_SECONDS - 1
+
+
+def test_format_clock():
+    assert format_clock(0) == "00:00:00"
+    assert format_clock(3661) == "01:01:01"
+    assert format_clock(DAY_SECONDS - 1) == "23:59:59"
+    assert format_clock(DAY_SECONDS) == "00:00:00"
+    assert format_clock(DAY_SECONDS + 60) == "00:01:00"

@@ -1,0 +1,256 @@
+"""Unit tests for the IntervalSet algebra."""
+
+import math
+
+import pytest
+
+from repro.timeline import DAY_SECONDS, IntervalSet
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = IntervalSet.empty()
+        assert s.is_empty
+        assert not s
+        assert s.measure == 0
+        assert len(s) == 0
+
+    def test_full_day(self):
+        s = IntervalSet.full_day()
+        assert s.measure == DAY_SECONDS
+        assert s.intervals == ((0, DAY_SECONDS),)
+
+    def test_single_interval(self):
+        s = IntervalSet([(3600, 7200)])
+        assert s.intervals == ((3600, 7200),)
+        assert s.measure == 3600
+
+    def test_zero_length_dropped(self):
+        assert IntervalSet([(100, 100)]).is_empty
+
+    def test_merge_overlapping(self):
+        s = IntervalSet([(0, 100), (50, 200)])
+        assert s.intervals == ((0, 200),)
+
+    def test_merge_touching(self):
+        s = IntervalSet([(0, 100), (100, 200)])
+        assert s.intervals == ((0, 200),)
+
+    def test_disjoint_kept_sorted(self):
+        s = IntervalSet([(500, 600), (100, 200)])
+        assert s.intervals == ((100, 200), (500, 600))
+
+    def test_wrap_midnight_splits(self):
+        s = IntervalSet([(DAY_SECONDS - 100, 50)])
+        assert s.intervals == ((0, 50), (DAY_SECONDS - 100, DAY_SECONDS))
+        assert s.measure == 150
+
+    def test_wrap_from_absolute_times(self):
+        # 23:00 to 01:00 given as absolute seconds past midnight.
+        s = IntervalSet([(23 * 3600, 25 * 3600)])
+        assert s.measure == 2 * 3600
+        assert s.contains(0)
+        assert s.contains(23.5 * 3600)
+        assert not s.contains(2 * 3600)
+
+    def test_interval_longer_than_day_is_full(self):
+        s = IntervalSet([(100, 100 + DAY_SECONDS)])
+        assert s == IntervalSet.full_day()
+
+    def test_end_at_exact_midnight(self):
+        s = IntervalSet([(80000, DAY_SECONDS)])
+        assert s.intervals == ((80000, DAY_SECONDS),)
+
+    def test_nowrap_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            IntervalSet([(100, DAY_SECONDS + 1)], wrap=False)
+        with pytest.raises(ValueError):
+            IntervalSet([(-5, 10)], wrap=False)
+        with pytest.raises(ValueError):
+            IntervalSet([(20, 10)], wrap=False)
+
+    def test_from_interval(self):
+        assert IntervalSet.from_interval(10, 20).intervals == ((10, 20),)
+
+    def test_union_all(self):
+        sets = [IntervalSet([(i * 100, i * 100 + 50)]) for i in range(5)]
+        merged = IntervalSet.union_all(sets)
+        assert merged.measure == 250
+        assert len(merged) == 5
+
+    def test_union_all_empty(self):
+        assert IntervalSet.union_all([]).is_empty
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = IntervalSet([(0, 100), (200, 300)])
+        b = IntervalSet([(200, 300), (0, 100)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != IntervalSet([(0, 100)])
+
+    def test_repr_contains_intervals(self):
+        assert "100" in repr(IntervalSet([(100, 200)]))
+
+    def test_usable_in_set(self):
+        pool = {IntervalSet([(0, 10)]), IntervalSet([(0, 10)])}
+        assert len(pool) == 1
+
+
+class TestPointQueries:
+    def test_contains_half_open(self):
+        s = IntervalSet([(100, 200)])
+        assert s.contains(100)
+        assert s.contains(199.5)
+        assert not s.contains(200)
+        assert not s.contains(99)
+
+    def test_contains_periodic(self):
+        s = IntervalSet([(100, 200)])
+        assert s.contains(DAY_SECONDS + 150)
+        assert 150 in s
+
+    def test_wait_until_inside_is_zero(self):
+        s = IntervalSet([(100, 200)])
+        assert s.wait_until(150) == 0
+
+    def test_wait_until_before_interval(self):
+        s = IntervalSet([(100, 200)])
+        assert s.wait_until(50) == 50
+
+    def test_wait_until_wraps_to_next_day(self):
+        s = IntervalSet([(100, 200)])
+        assert s.wait_until(300) == DAY_SECONDS - 300 + 100
+
+    def test_wait_until_empty_is_inf(self):
+        assert IntervalSet.empty().wait_until(0) == math.inf
+
+    def test_wait_until_bounded_by_day(self):
+        s = IntervalSet([(0, 1)])
+        assert 0 <= s.wait_until(2) < DAY_SECONDS
+
+    def test_next_online(self):
+        s = IntervalSet([(100, 200)])
+        assert s.next_online(50) == 100
+        assert s.next_online(150) == 150
+        # Absolute times beyond one day keep their day offset.
+        assert s.next_online(DAY_SECONDS + 50) == DAY_SECONDS + 100
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IntervalSet([(0, 100)])
+        b = IntervalSet([(50, 150)])
+        assert (a | b).intervals == ((0, 150),)
+
+    def test_union_identity(self):
+        a = IntervalSet([(0, 100)])
+        assert (a | IntervalSet.empty()) == a
+        assert (IntervalSet.empty() | a) == a
+
+    def test_intersection(self):
+        a = IntervalSet([(0, 100), (200, 300)])
+        b = IntervalSet([(50, 250)])
+        assert (a & b).intervals == ((50, 100), (200, 250))
+
+    def test_intersection_disjoint(self):
+        a = IntervalSet([(0, 100)])
+        b = IntervalSet([(100, 200)])  # touching, half-open: no overlap
+        assert (a & b).is_empty
+
+    def test_difference(self):
+        a = IntervalSet([(0, 300)])
+        b = IntervalSet([(100, 200)])
+        assert (a - b).intervals == ((0, 100), (200, 300))
+
+    def test_complement(self):
+        s = IntervalSet([(100, 200)])
+        c = ~s
+        assert c.intervals == ((0, 100), (200, DAY_SECONDS))
+        assert c.measure == DAY_SECONDS - 100
+
+    def test_complement_of_empty_is_full(self):
+        assert ~IntervalSet.empty() == IntervalSet.full_day()
+        assert ~IntervalSet.full_day() == IntervalSet.empty()
+
+    def test_demorgan(self):
+        a = IntervalSet([(0, 500), (1000, 2000)])
+        b = IntervalSet([(300, 1500)])
+        assert ~(a | b) == (~a) & (~b)
+        assert ~(a & b) == (~a) | (~b)
+
+
+class TestMeasures:
+    def test_overlap_matches_intersection_measure(self):
+        a = IntervalSet([(0, 100), (200, 300), (500, 900)])
+        b = IntervalSet([(50, 250), (600, 700)])
+        assert a.overlap(b) == (a & b).measure == 50 + 50 + 100
+
+    def test_overlap_symmetric(self):
+        a = IntervalSet([(0, 100)])
+        b = IntervalSet([(50, 150)])
+        assert a.overlap(b) == b.overlap(a) == 50
+
+    def test_overlaps_boolean(self):
+        a = IntervalSet([(0, 100)])
+        assert a.overlaps(IntervalSet([(99, 200)]))
+        assert not a.overlaps(IntervalSet([(100, 200)]))
+        assert not a.overlaps(IntervalSet.empty())
+
+    def test_coverage_added(self):
+        covered = IntervalSet([(0, 100)])
+        cand = IntervalSet([(50, 250)])
+        assert cand.coverage_added(covered) == 150
+        assert covered.coverage_added(covered) == 0
+
+    def test_measure_in_span_partial_day(self):
+        s = IntervalSet([(100, 200)])
+        assert s.measure_in_span(0, 150) == 50
+        assert s.measure_in_span(150, 400) == 50
+        assert s.measure_in_span(250, 400) == 0
+
+    def test_measure_in_span_multiple_days(self):
+        s = IntervalSet([(100, 200)])
+        assert s.measure_in_span(0, 2 * DAY_SECONDS) == 200
+        # One full day plus a partial that covers the interval again.
+        assert s.measure_in_span(0, DAY_SECONDS + 300) == 200
+
+    def test_measure_in_span_wrapping_window(self):
+        s = IntervalSet([(0, 100)])
+        # Window from 23:59:00 to 00:02:00 next day.
+        begin = DAY_SECONDS - 60
+        assert s.measure_in_span(begin, begin + 180) == 100
+
+    def test_measure_in_span_degenerate(self):
+        s = IntervalSet([(100, 200)])
+        assert s.measure_in_span(50, 50) == 0
+        assert s.measure_in_span(60, 50) == 0
+
+
+class TestTransforms:
+    def test_shift_simple(self):
+        s = IntervalSet([(0, 100)]).shift(50)
+        assert s.intervals == ((50, 150),)
+
+    def test_shift_wraps(self):
+        s = IntervalSet([(DAY_SECONDS - 50, DAY_SECONDS)]).shift(100)
+        assert s.intervals == ((50, 100),)
+
+    def test_shift_zero_returns_self(self):
+        s = IntervalSet([(0, 100)])
+        assert s.shift(0) is s
+        assert s.shift(DAY_SECONDS) is s
+
+    def test_shift_preserves_measure(self):
+        s = IntervalSet([(100, 5000), (70000, 86000)])
+        assert s.shift(12345).measure == s.measure
+
+    def test_clip(self):
+        s = IntervalSet([(0, 1000)])
+        assert s.clip(200, 300).intervals == ((200, 300),)
+
+    def test_clip_wrapping_window(self):
+        s = IntervalSet([(0, 1000), (80000, DAY_SECONDS)])
+        clipped = s.clip(85000, 500)
+        assert clipped.measure == (DAY_SECONDS - 85000) + 500

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the IntervalSet algebra.
+
+These check the lattice/measure laws the rest of the study silently relies
+on: availability is a measure of a union, ConRep connectivity is symmetric
+overlap, set-cover gains are monotone, etc.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeline import DAY_SECONDS, IntervalSet
+
+# Endpoints are drawn as ints so arithmetic stays exact.
+_point = st.integers(min_value=0, max_value=DAY_SECONDS)
+
+
+@st.composite
+def interval_sets(draw, max_intervals: int = 6) -> IntervalSet:
+    n = draw(st.integers(min_value=0, max_value=max_intervals))
+    pairs = []
+    for _ in range(n):
+        a = draw(_point)
+        b = draw(_point)
+        if a == b:
+            continue
+        pairs.append((min(a, b), max(a, b)))
+    return IntervalSet(pairs, wrap=False)
+
+
+@given(interval_sets())
+def test_canonical_form(s):
+    prev_end = -1
+    for start, end in s.intervals:
+        assert 0 <= start < end <= DAY_SECONDS
+        assert start > prev_end  # disjoint AND non-touching
+        prev_end = end
+
+
+@given(interval_sets(), interval_sets())
+def test_union_measure_inclusion_exclusion(a, b):
+    assert (a | b).measure == a.measure + b.measure - a.overlap(b)
+
+
+@given(interval_sets(), interval_sets())
+def test_union_commutative_intersection_commutative(a, b):
+    assert (a | b) == (b | a)
+    assert (a & b) == (b & a)
+
+
+@given(interval_sets(), interval_sets(), interval_sets())
+def test_union_associative(a, b, c):
+    assert ((a | b) | c) == (a | (b | c))
+
+
+@given(interval_sets(), interval_sets(), interval_sets())
+def test_intersection_distributes_over_union(a, b, c):
+    assert (a & (b | c)) == ((a & b) | (a & c))
+
+
+@given(interval_sets())
+def test_complement_involution(s):
+    assert ~~s == s
+    assert (s | ~s) == IntervalSet.full_day()
+    assert (s & ~s).is_empty
+    assert s.measure + (~s).measure == DAY_SECONDS
+
+
+@given(interval_sets(), interval_sets())
+def test_difference_partition(a, b):
+    # a is partitioned into (a - b) and (a & b).
+    assert ((a - b) | (a & b)) == a
+    assert (a - b).overlap(a & b) == 0
+    assert (a - b).measure + a.overlap(b) == a.measure
+
+
+@given(interval_sets(), interval_sets())
+def test_overlap_consistency(a, b):
+    inter = a & b
+    assert a.overlap(b) == inter.measure
+    assert a.overlaps(b) == (not inter.is_empty)
+    assert a.coverage_added(b) == (a - b).measure
+
+
+@given(interval_sets(), _point)
+def test_contains_matches_interval_membership(s, t):
+    expected = any(start <= (t % DAY_SECONDS) < end for start, end in s.intervals)
+    assert s.contains(t) == expected
+
+
+@given(interval_sets(), _point)
+def test_wait_until_lands_inside(s, t):
+    wait = s.wait_until(t)
+    if s.is_empty:
+        assert wait == math.inf
+    else:
+        assert 0 <= wait < DAY_SECONDS
+        assert s.contains(t + wait)
+        # Nothing of s lies strictly between t and t + wait.
+        if wait > 0:
+            assert s.clip(t % DAY_SECONDS, (t + wait) % DAY_SECONDS).measure == 0
+
+
+@given(interval_sets(), st.integers(min_value=0, max_value=2 * DAY_SECONDS))
+def test_shift_preserves_structure(s, dt):
+    shifted = s.shift(dt)
+    assert shifted.measure == s.measure
+    assert shifted.shift(-dt) == s
+
+
+@given(interval_sets(), _point, st.integers(min_value=0, max_value=3 * DAY_SECONDS))
+def test_measure_in_span_bounds(s, begin, length):
+    got = s.measure_in_span(begin, begin + length)
+    assert 0 <= got <= length
+    full_days = length // DAY_SECONDS
+    assert got >= full_days * s.measure
+
+
+@settings(max_examples=50)
+@given(interval_sets(), _point)
+def test_measure_in_span_additive(s, begin):
+    mid = begin + 12345
+    end = begin + 2 * DAY_SECONDS
+    assert math.isclose(
+        s.measure_in_span(begin, mid) + s.measure_in_span(mid, end),
+        s.measure_in_span(begin, end),
+    )
+
+
+@given(st.lists(interval_sets(), max_size=5))
+def test_union_all_equals_pairwise(sets):
+    merged = IntervalSet.union_all(sets)
+    acc = IntervalSet.empty()
+    for s in sets:
+        acc = acc | s
+    assert merged == acc

@@ -1,0 +1,135 @@
+"""Tests for the minute-grid backend, incl. equivalence with IntervalSet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeline import DAY_MINUTES, DAY_SECONDS, IntervalSet, MINUTE_SECONDS
+from repro.timeline.minutegrid import MinuteGrid, availability_matrix
+
+# Minute-aligned interval sets: conversions are exact for these.
+_minute = st.integers(min_value=0, max_value=DAY_MINUTES)
+
+
+@st.composite
+def minute_aligned_sets(draw, max_intervals=5):
+    n = draw(st.integers(min_value=0, max_value=max_intervals))
+    pairs = []
+    for _ in range(n):
+        a = draw(_minute)
+        b = draw(_minute)
+        if a == b:
+            continue
+        lo, hi = sorted((a, b))
+        pairs.append((lo * MINUTE_SECONDS, hi * MINUTE_SECONDS))
+    return IntervalSet(pairs, wrap=False)
+
+
+class TestConstruction:
+    def test_empty_and_full(self):
+        assert MinuteGrid.empty().is_empty
+        assert MinuteGrid.full_day().minutes_online == DAY_MINUTES
+        assert MinuteGrid.full_day().measure == DAY_SECONDS
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            MinuteGrid(np.zeros(100, dtype=bool))
+
+    def test_immutability(self):
+        grid = MinuteGrid.full_day()
+        with pytest.raises(ValueError):
+            grid._slots[0] = False
+
+    def test_input_array_copied(self):
+        arr = np.zeros(DAY_MINUTES, dtype=bool)
+        grid = MinuteGrid(arr)
+        arr[0] = True
+        assert grid.is_empty
+
+
+class TestConversions:
+    def test_exact_roundtrip_for_aligned(self):
+        s = IntervalSet([(0, 60), (600, 1200)], wrap=False)
+        grid = MinuteGrid.from_interval_set(s)
+        assert grid.to_interval_set() == s
+        assert grid.measure == s.measure
+
+    def test_rasterisation_is_conservative(self):
+        # 30 seconds inside one minute slot -> that whole slot covered.
+        s = IntervalSet([(10, 40)], wrap=False)
+        grid = MinuteGrid.from_interval_set(s)
+        assert grid.minutes_online == 1
+        assert grid.measure >= s.measure
+
+    def test_sub_minute_interval_spanning_boundary(self):
+        s = IntervalSet([(55, 65)], wrap=False)  # crosses the 60 s boundary
+        grid = MinuteGrid.from_interval_set(s)
+        assert grid.minutes_online == 2
+
+    @given(minute_aligned_sets())
+    def test_roundtrip_property(self, s):
+        assert MinuteGrid.from_interval_set(s).to_interval_set() == s
+
+
+class TestAlgebraEquivalence:
+    """Grid algebra commutes with the exact algebra on aligned sets."""
+
+    @given(minute_aligned_sets(), minute_aligned_sets())
+    def test_union_intersection_difference(self, a, b):
+        ga, gb = MinuteGrid.from_interval_set(a), MinuteGrid.from_interval_set(b)
+        assert (ga | gb).to_interval_set() == (a | b)
+        assert (ga & gb).to_interval_set() == (a & b)
+        assert (ga - gb).to_interval_set() == (a - b)
+
+    @given(minute_aligned_sets())
+    def test_complement(self, a):
+        grid = MinuteGrid.from_interval_set(a)
+        assert (~grid).to_interval_set() == ~a
+
+    @given(minute_aligned_sets(), minute_aligned_sets())
+    def test_overlap(self, a, b):
+        ga, gb = MinuteGrid.from_interval_set(a), MinuteGrid.from_interval_set(b)
+        assert ga.overlap_minutes(gb) * MINUTE_SECONDS == a.overlap(b)
+        assert ga.overlaps(gb) == a.overlaps(b)
+
+    @given(minute_aligned_sets(), _minute)
+    def test_contains(self, a, minute):
+        grid = MinuteGrid.from_interval_set(a)
+        t = min(minute, DAY_MINUTES - 1) * MINUTE_SECONDS
+        assert grid.contains(t) == a.contains(t)
+
+
+class TestGridSpecifics:
+    def test_equality_and_hash(self):
+        a = MinuteGrid.from_interval_set(IntervalSet([(0, 60)], wrap=False))
+        b = MinuteGrid.from_interval_set(IntervalSet([(0, 60)], wrap=False))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MinuteGrid.empty()
+
+    def test_union_all(self):
+        grids = [
+            MinuteGrid.from_interval_set(
+                IntervalSet([(i * 600, i * 600 + 60)], wrap=False)
+            )
+            for i in range(4)
+        ]
+        merged = MinuteGrid.union_all(grids)
+        assert merged.minutes_online == 4
+
+    def test_contains_periodic(self):
+        grid = MinuteGrid.from_interval_set(IntervalSet([(0, 60)], wrap=False))
+        assert grid.contains(DAY_SECONDS + 30)
+
+    def test_availability_matrix(self):
+        grids = [MinuteGrid.full_day(), MinuteGrid.empty()]
+        matrix = availability_matrix(grids)
+        assert matrix.shape == (2, DAY_MINUTES)
+        assert matrix.any(axis=0).all()
+
+    def test_availability_matrix_empty(self):
+        assert availability_matrix([]).shape == (0, DAY_MINUTES)
+
+    def test_repr(self):
+        assert "1440" in repr(MinuteGrid.full_day())
