@@ -44,6 +44,8 @@ from repro.onlinetime import (
     compute_schedules,
     make_model,
 )
+from repro.parallel import ParallelExecutor
+from repro.seeding import derive_rng, derive_seed
 from repro.simulator import DecentralizedOSN, ReplayConfig
 from repro.timeline import DAY_SECONDS, IntervalSet
 
@@ -61,6 +63,7 @@ __all__ = [
     "IntervalSet",
     "MaxAvPlacement",
     "MostActivePlacement",
+    "ParallelExecutor",
     "PlacementContext",
     "PlacementPolicy",
     "RandomLengthModel",
@@ -71,6 +74,8 @@ __all__ = [
     "UNCONREP",
     "UserMetrics",
     "compute_schedules",
+    "derive_rng",
+    "derive_seed",
     "evaluate_user",
     "make_model",
     "make_policy",

@@ -4,7 +4,7 @@ Examples::
 
     repro-osn list
     repro-osn run fig3 --scale bench
-    repro-osn run all --scale full --output results.txt
+    repro-osn run all --scale full --jobs 8 --output results.txt
     repro-osn stats --dataset facebook --users 2000 --seed 7
     repro-osn generate --kind twitter --users 1000 --graph g.txt --trace t.txt
     repro-osn simulate --users 800 --degree 10 --k 3 --days 2
@@ -46,6 +46,15 @@ def _build_dataset(kind: str, users: int, seed: int):
     raise ValueError(f"unknown dataset kind {kind!r}")
 
 
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all CPUs), got {jobs}"
+        )
+    return jobs
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("Available experiments (paper artifact -> id):")
     for eid in experiment_ids():
@@ -59,7 +68,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     out = open(args.output, "w") if args.output else sys.stdout
     try:
         for eid in ids:
-            result = run_experiment(eid, scale)
+            result = run_experiment(eid, scale, jobs=args.jobs)
             print(result.render(), file=out)
             if args.plot:
                 from repro.analysis import chart_from_table
@@ -185,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run an experiment (or 'all')")
     p_run.add_argument("experiment", help="experiment id or 'all'")
     p_run.add_argument("--scale", default="bench", choices=("bench", "full"))
+    p_run.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help=(
+            "worker processes for the per-user sweep work "
+            "(1 = serial, 0 = all CPUs; results are identical for any value)"
+        ),
+    )
     p_run.add_argument("--output", help="write the report to a file")
     p_run.add_argument(
         "--plot",

@@ -10,6 +10,12 @@ All policies select replicas *incrementally*, so the selection
 sequence for the maximum degree is computed once per user and every
 smaller allowed degree is evaluated on its prefix — an exact, order-
 preserving shortcut (property-tested in the suite).
+
+The per-user work is embarrassingly parallel; every sweep accepts a
+:class:`repro.parallel.ParallelExecutor` and fans the cohort out over a
+process pool when ``jobs > 1``.  Per-user RNGs are derived with
+process-independent hashing (:mod:`repro.seeding`), so parallel results
+are bit-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -29,6 +35,14 @@ from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
 from repro.onlinetime.base import OnlineTimeModel, compute_schedules
 from repro.onlinetime.sporadic import SporadicModel
+from repro.parallel import (
+    ParallelExecutor,
+    PlacementPayload,
+    SweepPayload,
+    evaluate_users_chunk,
+    select_sequences_chunk,
+)
+from repro.seeding import derive_rng
 
 
 @dataclass(frozen=True)
@@ -46,6 +60,9 @@ class AggregateMetrics:
     delay_hours_observed: float
     mean_replicas_used: float
     num_infinite_delay: int
+    #: Users whose *observed* delay was infinite (tracked separately so
+    #: cross-repeat averaging can weight the observed mean correctly).
+    num_infinite_delay_observed: int = 0
 
     @staticmethod
     def from_users(metrics: Sequence[UserMetrics]) -> "AggregateMetrics":
@@ -85,14 +102,37 @@ class AggregateMetrics:
             ),
             mean_replicas_used=sum(m.replication_degree for m in metrics) / n,
             num_infinite_delay=n - len(finite_actual),
+            num_infinite_delay_observed=n - len(finite_observed),
         )
 
     @staticmethod
     def mean(aggregates: Sequence["AggregateMetrics"]) -> "AggregateMetrics":
-        """Average aggregates across repeats (equal weight per repeat)."""
+        """Average aggregates across repeats.
+
+        Plain metrics average with equal weight per repeat (each repeat
+        covers the same cohort).  The delay means are *finite-sample*
+        means, so they are weighted by each repeat's finite-user count —
+        a repeat in which every user's delay was infinite reports 0.0
+        over zero users and must not drag the cross-repeat mean down.
+        """
         if not aggregates:
             raise ValueError("cannot average zero aggregates")
         n = len(aggregates)
+
+        def weighted(values: List[float], weights: List[int]) -> float:
+            total = sum(weights)
+            if not total:
+                return 0.0
+            return (
+                sum(v * w for v, w in zip(values, weights)) / total
+            )
+
+        actual_weights = [
+            a.num_users - a.num_infinite_delay for a in aggregates
+        ]
+        observed_weights = [
+            a.num_users - a.num_infinite_delay_observed for a in aggregates
+        ]
         return AggregateMetrics(
             num_users=round(sum(a.num_users for a in aggregates) / n),
             availability=sum(a.availability for a in aggregates) / n,
@@ -106,14 +146,19 @@ class AggregateMetrics:
                 a.expected_activity_fraction for a in aggregates
             )
             / n,
-            delay_hours_actual=sum(a.delay_hours_actual for a in aggregates) / n,
-            delay_hours_observed=sum(
-                a.delay_hours_observed for a in aggregates
-            )
-            / n,
+            delay_hours_actual=weighted(
+                [a.delay_hours_actual for a in aggregates], actual_weights
+            ),
+            delay_hours_observed=weighted(
+                [a.delay_hours_observed for a in aggregates],
+                observed_weights,
+            ),
             mean_replicas_used=sum(a.mean_replicas_used for a in aggregates) / n,
             num_infinite_delay=round(
                 sum(a.num_infinite_delay for a in aggregates) / n
+            ),
+            num_infinite_delay_observed=round(
+                sum(a.num_infinite_delay_observed for a in aggregates) / n
             ),
         )
 
@@ -143,19 +188,36 @@ def placement_sequences(
     mode: str = CONREP,
     max_degree: int,
     seed: int = 0,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Dict[UserId, Tuple[UserId, ...]]:
-    """The full selection sequence (up to ``max_degree``) for each user."""
-    sequences = {}
-    for user in users:
-        ctx = PlacementContext(
-            dataset=dataset,
-            schedules=schedules,
-            user=user,
-            mode=mode,
-            rng=random.Random(hash((seed, policy.name, user))),
-        )
-        sequences[user] = policy.select(ctx, max_degree)
-    return sequences
+    """The full selection sequence (up to ``max_degree``) for each user.
+
+    Each user's RNG is derived process-independently from
+    ``(seed, policy.name, user)`` — identical under every
+    ``PYTHONHASHSEED`` and in every pool worker.  Pass an ``executor``
+    to fan the per-user selection out over processes.
+    """
+    executor = executor or ParallelExecutor()
+    payload = PlacementPayload(
+        dataset=dataset,
+        schedules=schedules,
+        policy=policy,
+        mode=mode,
+        max_degree=max_degree,
+        seed=seed,
+    )
+    sequences = executor.map_shared(
+        select_sequences_chunk,
+        payload,
+        list(users),
+        phase=f"place[{policy.name}]",
+    )
+    return dict(zip(users, sequences))
+
+
+def placement_rng(seed: int, policy_name: str, user: UserId) -> random.Random:
+    """The per-user placement RNG (shared with :mod:`repro.parallel`)."""
+    return derive_rng(seed, policy_name, user)
 
 
 def evaluate_placements(
@@ -191,14 +253,23 @@ def sweep_replication_degree(
     users: Sequence[UserId],
     seed: int = 0,
     repeats: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Metric means per policy per allowed replication degree.
 
     ``repeats`` re-runs everything with seeds ``seed .. seed+repeats-1``
     and averages — the paper's protocol for randomised components.
+
+    The per-user work (sequence selection at the maximum degree, then
+    prefix evaluation at every swept degree) runs through ``executor``;
+    with ``jobs > 1`` it spreads over worker processes and returns
+    results bit-identical to the serial run.
     """
     if not users:
         raise ValueError("empty user cohort")
+    executor = executor or ParallelExecutor()
+    users = list(users)
+    degrees = list(degrees)
     max_degree = max(degrees)
     runs: Dict[str, List[List[AggregateMetrics]]] = {
         p.name: [[] for _ in degrees] for p in policies
@@ -206,20 +277,26 @@ def sweep_replication_degree(
     for r in range(repeats):
         run_seed = seed + r
         schedules = compute_schedules(dataset, model, seed=run_seed)
+        payload = SweepPayload(
+            dataset=dataset,
+            schedules=schedules,
+            policies=tuple(policies),
+            mode=mode,
+            degrees=tuple(degrees),
+            max_degree=max_degree,
+            seed=run_seed,
+        )
+        per_user = executor.map_shared(
+            evaluate_users_chunk,
+            payload,
+            users,
+            phase=f"sweep[{model.name}]",
+        )
         for policy in policies:
-            sequences = placement_sequences(
-                dataset,
-                schedules,
-                users,
-                policy,
-                mode=mode,
-                max_degree=max_degree,
-                seed=run_seed,
-            )
-            for i, k in enumerate(degrees):
+            for i in range(len(degrees)):
                 runs[policy.name][i].append(
-                    evaluate_placements(
-                        dataset, schedules, sequences, k, mode=mode
+                    AggregateMetrics.from_users(
+                        [cell[policy.name][i] for cell in per_user]
                     )
                 )
     return {
@@ -238,6 +315,7 @@ def sweep_session_length(
     users: Sequence[UserId],
     seed: int = 0,
     repeats: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Fig. 8: fixed replication degree, Sporadic session length swept."""
     results: Dict[str, List[AggregateMetrics]] = {p.name: [] for p in policies}
@@ -252,6 +330,7 @@ def sweep_session_length(
             users=users,
             seed=seed,
             repeats=repeats,
+            executor=executor,
         )
         for name, series in point.items():
             results[name].append(series[0])
@@ -268,6 +347,7 @@ def sweep_user_degree(
     max_users_per_degree: Optional[int] = None,
     seed: int = 0,
     repeats: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Dict[str, List[Optional[AggregateMetrics]]]:
     """Fig. 9: cohorts of user degree 1..10, replication degree maximal.
 
@@ -293,6 +373,7 @@ def sweep_user_degree(
             users=users,
             seed=seed,
             repeats=repeats,
+            executor=executor,
         )
         for name, series in point.items():
             results[name].append(series[0])

@@ -21,6 +21,7 @@ from repro.core.placement.base import CONREP, PlacementContext, PlacementPolicy
 from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
 from repro.onlinetime.base import Schedules
+from repro.seeding import derive_rng
 
 
 class _CapacityFilteredDataset:
@@ -90,7 +91,7 @@ def place_network(
             schedules=schedules,
             user=user,
             mode=mode,
-            rng=random.Random(hash((seed, policy.name, user))),
+            rng=derive_rng(seed, policy.name, user),
         )
         selection = policy.select(ctx, k)
         placements[user] = selection

@@ -16,7 +16,13 @@ from repro.experiments.figures import (
     experiment_ids,
     run_experiment,
 )
-from repro.experiments.runner import jsonify, result_to_dict, run_batch
+from repro.experiments.runner import (
+    dejsonify,
+    jsonify,
+    load_result,
+    result_to_dict,
+    run_batch,
+)
 from repro.experiments.report import (
     ExperimentResult,
     ResultTable,
@@ -33,10 +39,12 @@ __all__ = [
     "POLICY_ORDER",
     "ResultTable",
     "SESSION_LENGTHS",
+    "dejsonify",
     "experiment_ids",
     "facebook_dataset",
     "format_table",
     "jsonify",
+    "load_result",
     "result_to_dict",
     "run_batch",
     "get_scale",

@@ -10,6 +10,7 @@ one bench per entry.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import (
@@ -45,6 +46,7 @@ from repro.onlinetime import (
     SporadicModel,
     compute_schedules,
 )
+from repro.parallel import ParallelExecutor
 from repro.simulator import DecentralizedOSN, ReplayConfig
 
 #: Policy display order used throughout the paper's figures.
@@ -103,6 +105,7 @@ def _panel_sweep(
     mode: str,
     metric: str,
     models: Optional[Sequence[Tuple[str, OnlineTimeModel]]] = None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> None:
     """Run the degree sweep for each panel model and add one table each."""
     users = _cohort(dataset, scale)
@@ -117,6 +120,7 @@ def _panel_sweep(
             users=users,
             seed=scale.seed,
             repeats=scale.repeats,
+            executor=executor,
         )
         rows = []
         for i, k in enumerate(DEGREES):
@@ -154,7 +158,9 @@ def _panel_sweep(
 # ---------------------------------------------------------------------------
 
 
-def table1_dataset_stats(scale: ExperimentScale) -> ExperimentResult:
+def table1_dataset_stats(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     """§IV-A in-text dataset statistics, measured vs paper."""
     result = ExperimentResult(
         experiment_id="table1",
@@ -205,7 +211,9 @@ def table1_dataset_stats(scale: ExperimentScale) -> ExperimentResult:
     return result
 
 
-def fig2_degree_distribution(scale: ExperimentScale) -> ExperimentResult:
+def fig2_degree_distribution(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     """Fig. 2: user degree distribution of both datasets."""
     result = ExperimentResult(
         experiment_id="fig2",
@@ -237,7 +245,9 @@ def fig2_degree_distribution(scale: ExperimentScale) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def fig3_fb_conrep_availability(scale: ExperimentScale) -> ExperimentResult:
+def fig3_fb_conrep_availability(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig3",
         title="Facebook-ConRep: Availability (Fig. 3)",
@@ -256,11 +266,14 @@ def fig3_fb_conrep_availability(scale: ExperimentScale) -> ExperimentResult:
         scale,
         mode=CONREP,
         metric="availability",
+        executor=executor,
     )
     return result
 
 
-def fig4_fb_unconrep_availability(scale: ExperimentScale) -> ExperimentResult:
+def fig4_fb_unconrep_availability(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig4",
         title="Facebook-UnconRep: Availability (Fig. 4)",
@@ -284,11 +297,14 @@ def fig4_fb_unconrep_availability(scale: ExperimentScale) -> ExperimentResult:
         mode=UNCONREP,
         metric="availability",
         models=models,
+        executor=executor,
     )
     return result
 
 
-def fig5_fb_conrep_aod_time(scale: ExperimentScale) -> ExperimentResult:
+def fig5_fb_conrep_aod_time(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig5",
         title="Facebook-ConRep: Availability-on-Demand-Time (Fig. 5)",
@@ -307,11 +323,14 @@ def fig5_fb_conrep_aod_time(scale: ExperimentScale) -> ExperimentResult:
         scale,
         mode=CONREP,
         metric="aod_time",
+        executor=executor,
     )
     return result
 
 
-def fig6_fb_conrep_aod_activity(scale: ExperimentScale) -> ExperimentResult:
+def fig6_fb_conrep_aod_activity(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig6",
         title="Facebook-ConRep: Availability-on-Demand-Activity (Fig. 6)",
@@ -330,11 +349,14 @@ def fig6_fb_conrep_aod_activity(scale: ExperimentScale) -> ExperimentResult:
         scale,
         mode=CONREP,
         metric="aod_activity",
+        executor=executor,
     )
     return result
 
 
-def fig7_fb_conrep_delay(scale: ExperimentScale) -> ExperimentResult:
+def fig7_fb_conrep_delay(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig7",
         title="Facebook-ConRep: Update Propagation Delay (Fig. 7)",
@@ -353,11 +375,14 @@ def fig7_fb_conrep_delay(scale: ExperimentScale) -> ExperimentResult:
         scale,
         mode=CONREP,
         metric="delay_hours_actual",
+        executor=executor,
     )
     return result
 
 
-def fig8_session_length(scale: ExperimentScale) -> ExperimentResult:
+def fig8_session_length(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig8",
         title="Facebook-ConRep: Effect of Sporadic session length (Fig. 8)",
@@ -381,6 +406,7 @@ def fig8_session_length(scale: ExperimentScale) -> ExperimentResult:
         users=users,
         seed=scale.seed,
         repeats=scale.repeats,
+        executor=executor,
     )
     for metric, label in _METRIC_LABELS.items():
         rows = []
@@ -407,7 +433,9 @@ def fig8_session_length(scale: ExperimentScale) -> ExperimentResult:
     return result
 
 
-def fig9_user_degree(scale: ExperimentScale) -> ExperimentResult:
+def fig9_user_degree(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig9",
         title="Facebook-ConRep: Effect of user degree (Fig. 9)",
@@ -433,6 +461,7 @@ def fig9_user_degree(scale: ExperimentScale) -> ExperimentResult:
         max_users_per_degree=scale.max_cohort_users,
         seed=scale.seed,
         repeats=scale.repeats,
+        executor=executor,
     )
 
     def row_of(metric):
@@ -482,7 +511,9 @@ def fig9_user_degree(scale: ExperimentScale) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def fig10_tw_conrep_availability(scale: ExperimentScale) -> ExperimentResult:
+def fig10_tw_conrep_availability(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig10",
         title="Twitter-ConRep: Availability (Fig. 10)",
@@ -498,11 +529,14 @@ def fig10_tw_conrep_availability(scale: ExperimentScale) -> ExperimentResult:
         scale,
         mode=CONREP,
         metric="availability",
+        executor=executor,
     )
     return result
 
 
-def fig11_tw_conrep_aod_time(scale: ExperimentScale) -> ExperimentResult:
+def fig11_tw_conrep_aod_time(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig11",
         title="Twitter-ConRep: Availability-on-Demand-Time (Fig. 11)",
@@ -522,6 +556,7 @@ def fig11_tw_conrep_aod_time(scale: ExperimentScale) -> ExperimentResult:
         scale,
         mode=CONREP,
         metric="aod_time",
+        executor=executor,
     )
     return result
 
@@ -531,7 +566,9 @@ def fig11_tw_conrep_aod_time(scale: ExperimentScale) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def x1_des_validation(scale: ExperimentScale) -> ExperimentResult:
+def x1_des_validation(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     """Replay a placed cohort in the discrete-event simulator and compare
     the empirical measurements against the closed-form metrics."""
     result = ExperimentResult(
@@ -561,6 +598,7 @@ def x1_des_validation(scale: ExperimentScale) -> ExperimentResult:
         mode=CONREP,
         max_degree=3,
         seed=scale.seed,
+        executor=executor,
     )
     osn = DecentralizedOSN(
         dataset,
@@ -627,7 +665,9 @@ def x1_des_validation(scale: ExperimentScale) -> ExperimentResult:
     return result
 
 
-def x2_expected_unexpected(scale: ExperimentScale) -> ExperimentResult:
+def x2_expected_unexpected(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     """§IV-B: the expected/unexpected split of profile activity.
 
     Under each online-time model, part of the activity on a user's profile
@@ -665,6 +705,7 @@ def x2_expected_unexpected(scale: ExperimentScale) -> ExperimentResult:
             mode=CONREP,
             max_degree=3,
             seed=scale.seed,
+            executor=executor,
         )
         per_user = [
             evaluate_user(dataset, schedules, u, sequences[u])
@@ -706,7 +747,9 @@ def x2_expected_unexpected(scale: ExperimentScale) -> ExperimentResult:
     return result
 
 
-def x3_observed_vs_actual_delay(scale: ExperimentScale) -> ExperimentResult:
+def x3_observed_vs_actual_delay(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     """§II-C3: the observed propagation delay vs the actual one.
 
     The paper asserts the delay a friend *experiences* (his offline time
@@ -738,6 +781,7 @@ def x3_observed_vs_actual_delay(scale: ExperimentScale) -> ExperimentResult:
             users=users,
             seed=scale.seed,
             repeats=scale.repeats,
+            executor=executor,
         )["maxav"]
         rows = []
         for i, k in enumerate(DEGREES):
@@ -759,7 +803,9 @@ def x3_observed_vs_actual_delay(scale: ExperimentScale) -> ExperimentResult:
     return result
 
 
-def x4_hosting_fairness(scale: ExperimentScale) -> ExperimentResult:
+def x4_hosting_fairness(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     """§II-B1: fairness of the hosting load across the whole network.
 
     The paper requires that replica selection "ensure fairness among the
@@ -800,6 +846,7 @@ def x4_hosting_fairness(scale: ExperimentScale) -> ExperimentResult:
             mode=CONREP,
             max_degree=3,
             seed=scale.seed,
+            executor=executor,
         )
         report = fairness_report(sequences, all_hosts=everyone)
         rows.append(
@@ -830,7 +877,9 @@ def x4_hosting_fairness(scale: ExperimentScale) -> ExperimentResult:
     return result
 
 
-def x5_owner_notification(scale: ExperimentScale) -> ExperimentResult:
+def x5_owner_notification(
+    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+) -> ExperimentResult:
     """§II requirement: the owner should receive updates on his profile
     even when they arrive while he is offline.
 
@@ -867,6 +916,7 @@ def x5_owner_notification(scale: ExperimentScale) -> ExperimentResult:
             mode=CONREP,
             max_degree=3,
             seed=scale.seed,
+            executor=executor,
         )
         stats = DecentralizedOSN(
             dataset,
@@ -910,7 +960,7 @@ def x5_owner_notification(scale: ExperimentScale) -> ExperimentResult:
 # Registry
 # ---------------------------------------------------------------------------
 
-EXPERIMENTS: Dict[str, Callable[[ExperimentScale], ExperimentResult]] = {
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1_dataset_stats,
     "fig2": fig2_degree_distribution,
     "fig3": fig3_fb_conrep_availability,
@@ -936,9 +986,19 @@ def experiment_ids() -> List[str]:
 
 
 def run_experiment(
-    experiment_id: str, scale: ExperimentScale = BENCH
+    experiment_id: str,
+    scale: ExperimentScale = BENCH,
+    *,
+    jobs: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> ExperimentResult:
-    """Run one experiment by id at the given scale."""
+    """Run one experiment by id at the given scale.
+
+    ``jobs`` (or a pre-built ``executor``) parallelises the per-user sweep
+    work over worker processes; results are bit-identical to ``jobs=1``.
+    Phase wall-clock/throughput timings land in ``result.timings`` and are
+    serialised into the experiment's JSON by ``run_batch``.
+    """
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -946,4 +1006,13 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; choose from "
             f"{experiment_ids()}"
         ) from None
-    return fn(scale)
+    if executor is None:
+        executor = ParallelExecutor(jobs=jobs)
+    start = perf_counter()
+    result = fn(scale, executor=executor)
+    result.timings = {
+        "total_seconds": round(perf_counter() - start, 6),
+        "jobs": executor.effective_jobs,
+        "phases": executor.timings_dict(),
+    }
+    return result

@@ -69,6 +69,9 @@ class ExperimentResult:
     data: Dict[str, Any] = field(default_factory=dict)
     #: The qualitative expectation from the paper, stated for the reader.
     paper_expectation: str = ""
+    #: Wall-clock/throughput per phase, filled in by ``run_experiment``
+    #: (``{"total_seconds": ..., "jobs": ..., "phases": {...}}``).
+    timings: Dict[str, Any] = field(default_factory=dict)
 
     def add_table(
         self,
@@ -90,4 +93,21 @@ class ExperimentResult:
         for table in self.tables:
             parts.append("")
             parts.append(table.render())
+        if self.timings:
+            parts.append("")
+            parts.append(self._render_timings())
         return "\n".join(parts)
+
+    def _render_timings(self) -> str:
+        bits = []
+        total = self.timings.get("total_seconds")
+        if total is not None:
+            jobs = self.timings.get("jobs")
+            suffix = f" (jobs={jobs})" if jobs else ""
+            bits.append(f"total {total:.2f}s{suffix}")
+        for name, t in sorted(self.timings.get("phases", {}).items()):
+            bits.append(
+                f"{name}: {t['seconds']:.2f}s, {t['items']} users, "
+                f"{t['items_per_second']:.1f} users/s"
+            )
+        return "[timing] " + "; ".join(bits)

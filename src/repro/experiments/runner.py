@@ -41,6 +41,24 @@ def jsonify(value: Any) -> Any:
     return repr(value)
 
 
+#: Inverse image of the non-finite-float encoding used by :func:`jsonify`.
+_NON_FINITE = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def dejsonify(value: Any) -> Any:
+    """Inverse of :func:`jsonify` for the float encoding: the strings
+    ``"inf"``/``"-inf"``/``"nan"`` become the corresponding floats again,
+    recursively through containers.  Other values pass through unchanged
+    (dataclasses stay plain dictionaries)."""
+    if isinstance(value, str):
+        return _NON_FINITE.get(value, value)
+    if isinstance(value, dict):
+        return {k: dejsonify(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [dejsonify(v) for v in value]
+    return value
+
+
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
     """A JSON-safe dictionary view of an experiment result."""
     return {
@@ -57,7 +75,19 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
             for t in result.tables
         ],
         "data": jsonify(result.data),
+        "timings": jsonify(result.timings),
     }
+
+
+def load_result(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Parse a written ``<id>.json`` back, restoring non-finite floats.
+
+    The counterpart of the ``run_batch`` JSON output: infinite delays
+    serialised as ``"inf"`` come back as ``math.inf``, so loaded series
+    compare directly against freshly computed ones.
+    """
+    blob = json.loads(Path(path).read_text(encoding="utf-8"))
+    return dejsonify(blob)
 
 
 def run_batch(
@@ -65,16 +95,20 @@ def run_batch(
     *,
     scale: ExperimentScale = BENCH,
     ids: Optional[Iterable[str]] = None,
+    jobs: int = 1,
 ) -> List[Path]:
     """Run experiments and write ``<id>.txt`` + ``<id>.json`` per entry.
 
-    Returns the paths written.  The directory is created if missing.
+    ``jobs`` parallelises each experiment's per-user work over worker
+    processes (results are bit-identical to ``jobs=1``); each experiment's
+    JSON carries its phase timings.  Returns the paths written.  The
+    directory is created if missing.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     written: List[Path] = []
     for eid in ids if ids is not None else experiment_ids():
-        result = run_experiment(eid, scale)
+        result = run_experiment(eid, scale, jobs=jobs)
         txt_path = out / f"{eid}.txt"
         txt_path.write_text(result.render() + "\n", encoding="utf-8")
         json_path = out / f"{eid}.json"

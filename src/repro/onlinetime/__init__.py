@@ -15,6 +15,7 @@ from typing import Callable, Dict
 from repro.onlinetime.base import (
     OnlineTimeModel,
     Schedules,
+    clear_schedule_cache,
     compute_schedules,
     user_rng,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "Schedules",
     "SporadicModel",
     "best_window_start",
+    "clear_schedule_cache",
     "compute_schedules",
     "load_session_log",
     "make_model",

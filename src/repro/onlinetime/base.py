@@ -4,35 +4,46 @@ The datasets record *when users acted*, not when they were online; the
 paper bridges the gap with three models (§IV-C) that map a user's activity
 history to a daily online schedule.  Each model implements
 :class:`OnlineTimeModel`; :func:`compute_schedules` evaluates one model
-over a whole dataset deterministically.
+over a whole dataset deterministically (and memoises the result per
+``(model, seed)`` on the dataset, so repeats and multi-figure sweeps never
+recompute identical schedules).
 
 Randomised models (Sporadic's in-session placement, RandomLength's window
-length) draw from a per-user RNG derived from ``(seed, user_id)``, so a
-user's schedule is independent of dict iteration order and two runs with
-the same seed agree exactly — while the paper's repeat-and-average protocol
-is a simple loop over seeds.
+length) draw from a per-user RNG derived from ``(seed, user_id)`` via
+:func:`repro.seeding.derive_seed`, so a user's schedule is independent of
+dict iteration order, of the process computing it, and of
+``PYTHONHASHSEED`` — two runs with the same seed agree exactly, while the
+paper's repeat-and-average protocol is a simple loop over seeds.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
+from repro.seeding import derive_rng
 from repro.timeline.intervals import IntervalSet
 
 Schedules = Dict[UserId, IntervalSet]
+
+#: Attribute under which a dataset carries its schedule memo.
+_CACHE_ATTR = "_repro_schedule_cache"
+
+#: Memo entries kept per dataset (FIFO eviction beyond this).
+_CACHE_MAX_ENTRIES = 32
 
 
 def user_rng(seed: int, user: UserId) -> random.Random:
     """A reproducible per-user random source.
 
-    CPython hashes of int tuples are deterministic (PYTHONHASHSEED only
-    randomises str/bytes), so this is stable across processes.
+    Derived with a process- and version-independent hash (SHA-256), so the
+    stream is identical in every pool worker and under every
+    ``PYTHONHASHSEED``.
     """
-    return random.Random(hash((seed, user)))
+    return derive_rng(seed, user)
 
 
 class OnlineTimeModel(ABC):
@@ -49,11 +60,47 @@ class OnlineTimeModel(ABC):
         """One-line human-readable parameterisation."""
         return self.name
 
+    def cache_key(self) -> Tuple[object, ...]:
+        """Value key for the schedule memo.
+
+        Two model instances with equal cache keys must produce identical
+        schedules for every ``(dataset, seed)``.  The default captures the
+        class plus :meth:`describe`, which holds for the paper models
+        (their ``describe`` strings carry the full parameterisation);
+        models with state not reflected in ``describe`` must override.
+        """
+        return (type(self).__qualname__, self.describe())
+
 
 def compute_schedules(
     dataset: Dataset, model: OnlineTimeModel, *, seed: int = 0
 ) -> Schedules:
-    """Evaluate ``model`` for every user in the dataset."""
-    return {
-        user: model.schedule(user, dataset, seed) for user in dataset.graph.users()
-    }
+    """Evaluate ``model`` for every user in the dataset.
+
+    Results are memoised on the dataset per ``(model.cache_key(), seed)``:
+    repeats with the same seed, multi-policy sweeps, and the many figures
+    sharing one model configuration all reuse the first computation.  The
+    returned mapping must be treated as read-only.
+    """
+    cache = getattr(dataset, _CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(dataset, _CACHE_ATTR, cache)
+    key = (model.cache_key(), seed)
+    schedules = cache.get(key)
+    if schedules is None:
+        schedules = {
+            user: model.schedule(user, dataset, seed)
+            for user in dataset.graph.users()
+        }
+        if len(cache) >= _CACHE_MAX_ENTRIES:
+            cache.pop(next(iter(cache)))  # FIFO: evict the oldest entry
+        cache[key] = schedules
+    return schedules
+
+
+def clear_schedule_cache(dataset: Dataset) -> None:
+    """Drop the dataset's schedule memo (frees memory after large sweeps)."""
+    cache = getattr(dataset, _CACHE_ATTR, None)
+    if cache is not None:
+        cache.clear()

@@ -65,6 +65,11 @@ class ExplicitScheduleModel(OnlineTimeModel):
     def describe(self) -> str:
         return f"explicit({len(self._schedules)} users)"
 
+    def cache_key(self):
+        # The session log is arbitrary data not reflected in describe();
+        # memoise per instance so two different logs never collide.
+        return (type(self).__qualname__, id(self))
+
 
 def load_session_log(source: PathOrFile) -> Dict[UserId, List[Tuple[float, float]]]:
     """Parse a session log: each line ``user login_ts logout_ts``.

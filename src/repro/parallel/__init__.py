@@ -1,0 +1,32 @@
+"""Parallel experiment engine: process-pool fan-out of per-user work.
+
+The sweep harness in :mod:`repro.core.evaluation` accepts a
+:class:`ParallelExecutor`; pass ``ParallelExecutor(jobs=8)`` (or
+``--jobs 8`` on the CLI) to spread the per-user placement + evaluation
+work over worker processes.  Results are bit-identical to the serial run
+for every ``jobs`` value.
+"""
+
+from repro.parallel.executor import (
+    ParallelExecutor,
+    PhaseTiming,
+    fork_available,
+    resolve_jobs,
+)
+from repro.parallel.worker import (
+    PlacementPayload,
+    SweepPayload,
+    evaluate_users_chunk,
+    select_sequences_chunk,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "PhaseTiming",
+    "PlacementPayload",
+    "SweepPayload",
+    "evaluate_users_chunk",
+    "fork_available",
+    "resolve_jobs",
+    "select_sequences_chunk",
+]

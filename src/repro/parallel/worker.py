@@ -1,0 +1,117 @@
+"""Per-user work kernels fanned out by the parallel sweep engine.
+
+These functions are the *only* code that computes per-user placements and
+metrics for the sweeps — the serial path calls them inline with the very
+same payload, which is what makes ``jobs=N`` results bit-identical to
+``jobs=1`` by construction.
+
+Both kernels are top-level functions over a frozen payload, so a process
+pool can ship them to workers by reference (the payload itself travels
+once, at pool initialisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.metrics import UserMetrics, evaluate_user
+from repro.core.placement.base import CONREP, PlacementContext, PlacementPolicy
+from repro.datasets.schema import Dataset
+from repro.graph.social_graph import UserId
+from repro.onlinetime.base import Schedules
+from repro.seeding import derive_rng
+
+#: Per-user sweep output: policy name -> one UserMetrics per swept degree.
+UserCell = Dict[str, Tuple[UserMetrics, ...]]
+
+
+@dataclass(frozen=True)
+class SweepPayload:
+    """Shared read-only context for one repeat of a degree sweep."""
+
+    dataset: Dataset
+    schedules: Schedules
+    policies: Tuple[PlacementPolicy, ...]
+    mode: str
+    degrees: Tuple[int, ...]
+    max_degree: int
+    seed: int
+
+
+def _sequence_for(
+    payload: "SweepPayload", policy: PlacementPolicy, user: UserId
+) -> Tuple[UserId, ...]:
+    """One user's full selection sequence under one policy.
+
+    The RNG seed is derived process-independently from
+    ``(seed, policy, user)`` — the same stream in every worker and in the
+    serial path.
+    """
+    ctx = PlacementContext(
+        dataset=payload.dataset,
+        schedules=payload.schedules,
+        user=user,
+        mode=payload.mode,
+        rng=derive_rng(payload.seed, policy.name, user),
+    )
+    return policy.select(ctx, payload.max_degree)
+
+
+def evaluate_users_chunk(
+    payload: SweepPayload, users: Sequence[UserId]
+) -> List[UserCell]:
+    """Sequence + per-degree metrics for each user, all policies.
+
+    Each policy's selection sequence is computed once per user at the
+    maximum swept degree; every smaller degree is evaluated on its prefix
+    (the incremental-selection property the sweep harness relies on).
+    """
+    out: List[UserCell] = []
+    for user in users:
+        cell: UserCell = {}
+        for policy in payload.policies:
+            sequence = _sequence_for(payload, policy, user)
+            cell[policy.name] = tuple(
+                evaluate_user(
+                    payload.dataset,
+                    payload.schedules,
+                    user,
+                    sequence[:k],
+                    allowed_degree=k,
+                    mode=payload.mode,
+                )
+                for k in payload.degrees
+            )
+        out.append(cell)
+    return out
+
+
+@dataclass(frozen=True)
+class PlacementPayload:
+    """Shared read-only context for a bare placement fan-out."""
+
+    dataset: Dataset
+    schedules: Schedules
+    policy: PlacementPolicy
+    mode: str = CONREP
+    max_degree: int = 0
+    seed: int = 0
+
+
+def select_sequences_chunk(
+    payload: PlacementPayload, users: Sequence[UserId]
+) -> List[Tuple[UserId, ...]]:
+    """Selection sequences only (no metrics), one per user in order."""
+    sweep_like = SweepPayload(
+        dataset=payload.dataset,
+        schedules=payload.schedules,
+        policies=(payload.policy,),
+        mode=payload.mode,
+        degrees=(),
+        max_degree=payload.max_degree,
+        seed=payload.seed,
+    )
+    return [
+        _sequence_for(sweep_like, payload.policy, user) for user in users
+    ]

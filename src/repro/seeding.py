@@ -1,0 +1,50 @@
+"""Process-independent deterministic seed derivation.
+
+Every randomised component of the study (the Random placement policy,
+Sporadic's in-session offsets, RandomLength's window lengths) draws from a
+``random.Random`` whose seed is *derived* from the experiment seed plus
+identifying context (policy name, user id, ...).  The derivation must be
+
+* stable across processes — the parallel sweep engine fans per-user work
+  out over a process pool, and every worker must reproduce exactly the
+  stream the serial path would have used;
+* stable across interpreter invocations — ``PYTHONHASHSEED`` salts
+  ``hash()`` for strings, so the builtin hash is *not* usable whenever a
+  string (e.g. a policy name) participates in the key;
+* stable across Python versions and platforms — tuple hashing has changed
+  between CPython releases, so even all-int keys are not future-proof.
+
+:func:`derive_seed` therefore hashes the stringified key parts with
+SHA-256 (a fixed, versioned algorithm) and folds the digest into a 64-bit
+integer seed.  Parts are joined with ``":"`` after escaping, so distinct
+part tuples can never collide by concatenation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["derive_rng", "derive_seed"]
+
+
+def _encode_part(part: object) -> str:
+    """One key part as text, with the separator escaped."""
+    return str(part).replace("\\", "\\\\").replace(":", "\\:")
+
+
+def derive_seed(*parts: object) -> int:
+    """A 64-bit seed derived deterministically from the key ``parts``.
+
+    The same parts yield the same seed in every process, under every
+    ``PYTHONHASHSEED``, on every platform.
+    """
+    if not parts:
+        raise ValueError("derive_seed needs at least one key part")
+    key = ":".join(_encode_part(p) for p in parts).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+
+
+def derive_rng(*parts: object) -> random.Random:
+    """A ``random.Random`` seeded via :func:`derive_seed`."""
+    return random.Random(derive_seed(*parts))

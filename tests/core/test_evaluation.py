@@ -88,6 +88,81 @@ class TestAggregateMetrics:
         merged = AggregateMetrics.mean([a, b])
         assert merged.availability == pytest.approx(0.4)
 
+    def test_mean_skips_repeats_with_no_finite_delays(self):
+        # A repeat in which every user's delay is infinite reports 0.0
+        # over zero finite users; averaging it in with equal weight would
+        # bias the cross-repeat delay mean low.  It must carry no weight.
+        finite = AggregateMetrics.from_users(
+            [
+                _user_metrics(delay_hours_actual=12.0, delay_hours_observed=4.0),
+                _user_metrics(delay_hours_actual=18.0, delay_hours_observed=6.0),
+            ]
+        )
+        empty = AggregateMetrics.from_users(
+            [
+                _user_metrics(
+                    delay_hours_actual=math.inf, delay_hours_observed=math.inf
+                ),
+                _user_metrics(
+                    delay_hours_actual=math.inf, delay_hours_observed=math.inf
+                ),
+            ]
+        )
+        merged = AggregateMetrics.mean([finite, empty])
+        assert merged.delay_hours_actual == pytest.approx(15.0)
+        assert merged.delay_hours_observed == pytest.approx(5.0)
+        assert merged.num_infinite_delay == 1  # rounded mean of (0, 2)
+        assert merged.num_infinite_delay_observed == 1
+
+    def test_mean_weights_by_finite_sample_counts(self):
+        # 1 finite user at 10 h in one repeat, 2 finite users at 40 h in
+        # the other: the pooled finite mean is (10 + 40 + 40) / 3 = 30,
+        # not the equal-weight (10 + 40) / 2 = 25.
+        one_finite = AggregateMetrics.from_users(
+            [
+                _user_metrics(delay_hours_actual=10.0),
+                _user_metrics(delay_hours_actual=math.inf),
+            ]
+        )
+        two_finite = AggregateMetrics.from_users(
+            [
+                _user_metrics(delay_hours_actual=40.0),
+                _user_metrics(delay_hours_actual=40.0),
+            ]
+        )
+        merged = AggregateMetrics.mean([one_finite, two_finite])
+        assert merged.delay_hours_actual == pytest.approx(30.0)
+
+    def test_mean_all_empty_repeats_is_zero(self):
+        empty = AggregateMetrics.from_users(
+            [_user_metrics(delay_hours_actual=math.inf)]
+        )
+        merged = AggregateMetrics.mean([empty, empty])
+        assert merged.delay_hours_actual == 0.0
+        assert merged.num_infinite_delay == 1
+
+    def test_equal_weights_match_plain_mean(self):
+        # All repeats fully finite over equal cohorts: the weighted mean
+        # must agree with the naive equal-weight mean.
+        a = AggregateMetrics.from_users(
+            [_user_metrics(delay_hours_actual=10.0)] * 2
+        )
+        b = AggregateMetrics.from_users(
+            [_user_metrics(delay_hours_actual=30.0)] * 2
+        )
+        merged = AggregateMetrics.mean([a, b])
+        assert merged.delay_hours_actual == pytest.approx(20.0)
+
+    def test_from_users_tracks_observed_infinities(self):
+        agg = AggregateMetrics.from_users(
+            [
+                _user_metrics(delay_hours_observed=math.inf),
+                _user_metrics(delay_hours_observed=2.0),
+            ]
+        )
+        assert agg.num_infinite_delay_observed == 1
+        assert agg.delay_hours_observed == pytest.approx(2.0)
+
 
 class TestSelectCohort:
     def test_exact_degree(self):

@@ -5,7 +5,13 @@ import math
 
 import pytest
 
-from repro.experiments import jsonify, result_to_dict, run_batch
+from repro.experiments import (
+    dejsonify,
+    jsonify,
+    load_result,
+    result_to_dict,
+    run_batch,
+)
 from repro.experiments.report import ExperimentResult
 from tests.experiments.test_config_and_registry import TINY
 
@@ -51,6 +57,29 @@ class TestJsonify:
         assert jsonify(Odd()) == "<odd>"
 
 
+class TestDejsonify:
+    def test_inverts_non_finite_encoding(self):
+        assert dejsonify("inf") == math.inf
+        assert dejsonify("-inf") == -math.inf
+        assert math.isnan(dejsonify("nan"))
+
+    def test_other_strings_untouched(self):
+        assert dejsonify("infinite") == "infinite"
+        assert dejsonify("Inf") == "Inf"  # exact-match only
+        assert dejsonify("") == ""
+
+    def test_recurses_containers(self):
+        out = dejsonify({"a": [1.5, "inf", {"b": "-inf"}], "c": None})
+        assert out["a"][0] == 1.5
+        assert out["a"][1] == math.inf
+        assert out["a"][2]["b"] == -math.inf
+        assert out["c"] is None
+
+    def test_round_trips_jsonify(self):
+        value = {"x": [1, math.inf, -math.inf], "y": 2.5, "z": "plain"}
+        assert dejsonify(json.loads(json.dumps(jsonify(value)))) == value
+
+
 class TestResultToDict:
     def test_round_trips_through_json(self):
         result = ExperimentResult("idx", "T", "D", paper_expectation="E")
@@ -76,3 +105,35 @@ class TestRunBatch:
         target = tmp_path / "deep" / "dir"
         run_batch(target, scale=TINY, ids=["table1"])
         assert (target / "table1.txt").exists()
+
+    def test_load_result_restores_non_finite_floats(self, tmp_path):
+        # Infinite delays are written by jsonify as the string "inf";
+        # load_result must hand back the float.
+        result = ExperimentResult("idx", "T", "D", paper_expectation="E")
+        result.add_table("cap", ("a", "b"), [(1, math.inf)])
+        result.data["delays"] = [2.5, math.inf, -math.inf]
+        path = tmp_path / "idx.json"
+        path.write_text(json.dumps(result_to_dict(result)))
+        loaded = load_result(path)
+        assert loaded["tables"][0]["rows"][0] == [1, math.inf]
+        assert loaded["data"]["delays"] == [2.5, math.inf, -math.inf]
+        assert not _contains(loaded, "inf")
+
+    def test_load_result_includes_timings(self, tmp_path):
+        run_batch(tmp_path, scale=TINY, ids=["table1"], jobs=1)
+        loaded = load_result(tmp_path / "table1.json")
+        timings = loaded["timings"]
+        assert timings["jobs"] == 1
+        assert timings["total_seconds"] > 0
+        assert all(
+            set(phase) == {"seconds", "items", "calls", "items_per_second"}
+            for phase in timings["phases"].values()
+        )
+
+
+def _contains(value, needle):
+    if isinstance(value, dict):
+        return any(_contains(v, needle) for v in value.values())
+    if isinstance(value, list):
+        return any(_contains(v, needle) for v in value)
+    return value == needle

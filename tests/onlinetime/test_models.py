@@ -68,6 +68,28 @@ class TestSporadic:
         assert sched.measure == pytest.approx(3600)
         assert sched.contains(10)
 
+    def test_negative_start_wraps_past_midnight(self):
+        # Regression: an activity just after midnight with a random offset
+        # larger than its second-of-day gives a *negative* session start
+        # (act.second_of_day - offset < 0).  IntervalSet must wrap that
+        # session around midnight, keeping the full length and covering
+        # both the end of the previous day and the start of this one.
+        length = 3600.0
+        ds = _dataset([_act(10)])
+        wrapped = 0
+        for seed in range(50):
+            sched = SporadicModel(length).schedule(1, ds, seed)
+            offset = user_rng(seed, 1).random() * length
+            assert sched.measure == pytest.approx(length)
+            assert sched.contains(10)
+            if offset > 10:  # start was negative
+                wrapped += 1
+                start = (10 - offset) % DAY_SECONDS
+                assert sched.contains(start + 1)  # tail of previous day
+                assert sched.contains(0)  # midnight itself is covered
+                assert not sched.contains(start - 1)
+        assert wrapped > 0  # the regression path was actually exercised
+
     def test_custom_session_length(self):
         ds = _dataset([_act(7 * HOUR_SECONDS)])
         sched = SporadicModel(100).schedule(1, ds, 0)
@@ -203,3 +225,23 @@ class TestComputeSchedules:
         schedules = compute_schedules(ds, SporadicModel(), seed=0)
         assert set(schedules) == {1, 2}
         assert schedules[2].is_empty
+
+    def test_memoised_per_model_config_and_seed(self):
+        ds = _dataset([_act(3600, creator=1)])
+        first = compute_schedules(ds, SporadicModel(), seed=0)
+        # Same config + seed returns the cached dict, even for a distinct
+        # (but equivalent) model instance.
+        assert compute_schedules(ds, SporadicModel(), seed=0) is first
+        assert compute_schedules(ds, SporadicModel(), seed=1) is not first
+        assert compute_schedules(ds, SporadicModel(600), seed=0) is not first
+        assert compute_schedules(ds, FixedLengthModel(2), seed=0) is not first
+
+    def test_cache_can_be_cleared(self):
+        from repro.onlinetime import clear_schedule_cache
+
+        ds = _dataset([_act(3600, creator=1)])
+        first = compute_schedules(ds, SporadicModel(), seed=0)
+        clear_schedule_cache(ds)
+        fresh = compute_schedules(ds, SporadicModel(), seed=0)
+        assert fresh is not first
+        assert fresh == first  # same contents, recomputed

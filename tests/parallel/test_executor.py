@@ -1,0 +1,79 @@
+"""Tests for the shared-payload process-pool executor."""
+
+import pytest
+
+from repro.parallel import ParallelExecutor, fork_available, resolve_jobs
+
+
+def _square_chunk(payload, chunk):
+    """Top-level worker (process pools resolve it by module path)."""
+    return [payload * item * item for item in chunk]
+
+
+def _bad_chunk(payload, chunk):
+    return chunk[:-1]  # drops one result
+
+
+class TestResolveJobs:
+    def test_defaults(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=-2)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=1, chunk_size=0)
+
+
+class TestSerialPath:
+    def test_identity_and_order(self):
+        ex = ParallelExecutor(jobs=1)
+        assert ex.is_serial
+        assert ex.map_shared(_square_chunk, 3, [1, 2, 3]) == [3, 12, 27]
+
+    def test_empty_items(self):
+        assert ParallelExecutor(jobs=1).map_shared(_square_chunk, 1, []) == []
+
+    def test_result_count_mismatch_detected(self):
+        with pytest.raises(RuntimeError):
+            ParallelExecutor(jobs=1).map_shared(_bad_chunk, None, [1, 2])
+
+    def test_timings_accumulate(self):
+        ex = ParallelExecutor(jobs=1)
+        ex.map_shared(_square_chunk, 1, [1, 2], phase="p")
+        ex.map_shared(_square_chunk, 1, [3], phase="p")
+        timing = ex.timings["p"]
+        assert timing.items == 3
+        assert timing.calls == 2
+        assert timing.seconds >= 0
+        as_dict = ex.timings_dict()["p"]
+        assert set(as_dict) == {"seconds", "items", "calls", "items_per_second"}
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+class TestParallelPath:
+    def test_matches_serial_in_order(self):
+        items = list(range(23))
+        serial = ParallelExecutor(jobs=1).map_shared(_square_chunk, 2, items)
+        parallel = ParallelExecutor(jobs=3).map_shared(_square_chunk, 2, items)
+        assert parallel == serial
+
+    def test_explicit_chunk_size(self):
+        ex = ParallelExecutor(jobs=2, chunk_size=1)
+        assert ex.map_shared(_square_chunk, 1, [4, 5]) == [16, 25]
+
+    def test_more_jobs_than_items(self):
+        ex = ParallelExecutor(jobs=8)
+        assert ex.map_shared(_square_chunk, 1, [2]) == [4]
+
+    def test_jobs_zero_uses_all_cpus(self):
+        ex = ParallelExecutor(jobs=0)
+        assert ex.effective_jobs >= 1
+        assert ex.map_shared(_square_chunk, 1, [1, 2, 3]) == [1, 4, 9]

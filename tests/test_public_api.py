@@ -18,7 +18,9 @@ PACKAGES = [
     "repro.experiments",
     "repro.graph",
     "repro.onlinetime",
+    "repro.parallel",
     "repro.robustness",
+    "repro.seeding",
     "repro.simulator",
     "repro.timeline",
 ]

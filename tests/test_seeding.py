@@ -1,0 +1,100 @@
+"""Process-independent seeding: the headline regression of the parallel PR.
+
+The old derivation ``random.Random(hash((seed, policy.name, user)))``
+salted the seed with ``PYTHONHASHSEED`` (string hashing), so Random /
+Sporadic placement sequences silently differed across interpreter
+invocations — and would have differed across pool workers.  These tests
+pin the fixed derivation, including a subprocess regression that runs the
+same computation under two different hash seeds.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.seeding import derive_rng, derive_seed
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class TestDeriveSeed:
+    def test_known_value_pinned(self):
+        # Frozen forever: changing the derivation silently changes every
+        # randomised experiment, so a drift must fail loudly here.
+        assert derive_seed(0, "random", 1) == 0x52ED701D77543C4D
+
+    def test_deterministic_and_distinct(self):
+        assert derive_seed(1, "maxav", 2) == derive_seed(1, "maxav", 2)
+        keys = {
+            derive_seed(1, "maxav", 2),
+            derive_seed(2, "maxav", 2),
+            derive_seed(1, "random", 2),
+            derive_seed(1, "maxav", 3),
+        }
+        assert len(keys) == 4
+
+    def test_separator_cannot_collide(self):
+        assert derive_seed("a:b", "c") != derive_seed("a", "b:c")
+        assert derive_seed("a\\", ":b") != derive_seed("a", "\\:b")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed()
+
+    def test_rng_stream_reproducible(self):
+        assert derive_rng(7, "x").random() == derive_rng(7, "x").random()
+        assert derive_rng(7, "x").random() != derive_rng(7, "y").random()
+
+
+_SUBPROCESS_SCRIPT = """
+import json, sys
+from repro.core import make_policy, placement_sequences
+from repro.datasets import synthetic_facebook
+from repro.onlinetime import SporadicModel, compute_schedules
+from repro.seeding import derive_seed
+
+ds = synthetic_facebook(300, seed=3)
+users = sorted(ds.graph.users())[:8]
+schedules = compute_schedules(ds, SporadicModel(), seed=1)
+sequences = placement_sequences(
+    ds, schedules, users, make_policy("random"), max_degree=4, seed=1
+)
+print(json.dumps({
+    "derived": derive_seed(1, "random", users[0]),
+    "sequences": {str(u): list(s) for u, s in sequences.items()},
+    "schedule": [list(iv) for iv in schedules[users[0]].intervals],
+}))
+"""
+
+
+def _run_under_hashseed(hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+class TestHashSeedIndependence:
+    def test_sequences_identical_across_hash_seeds(self):
+        # Two interpreters with different string-hash salts must produce
+        # the same schedules and the same Random-policy sequences.  With
+        # the old hash()-based derivation this fails for any two salts.
+        a = _run_under_hashseed("0")
+        b = _run_under_hashseed("12345")
+        assert a == b
+
+    def test_matches_current_process(self):
+        sub = _run_under_hashseed("987")
+        first_user = min(int(u) for u in sub["sequences"])
+        assert sub["derived"] == derive_seed(1, "random", first_user)
