@@ -68,7 +68,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     out = open(args.output, "w") if args.output else sys.stdout
     try:
         for eid in ids:
-            result = run_experiment(eid, scale, jobs=args.jobs)
+            result = run_experiment(
+                eid, scale, jobs=args.jobs, engine=args.engine
+            )
             print(result.render(), file=out)
             if args.plot:
                 from repro.analysis import chart_from_table
@@ -201,6 +203,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for the per-user sweep work "
             "(1 = serial, 0 = all CPUs; results are identical for any value)"
+        ),
+    )
+    p_run.add_argument(
+        "--engine",
+        default="incremental",
+        choices=("incremental", "naive"),
+        help=(
+            "prefix-evaluation engine for degree sweeps: 'incremental' "
+            "evaluates all degrees in one pass per user, 'naive' is the "
+            "per-degree reference (identical results, slower)"
         ),
     )
     p_run.add_argument("--output", help="write the report to a file")

@@ -18,6 +18,15 @@ Two refinements from the paper are also implemented:
   (CDN/DHT): the source uploads during its next online window and the
   destination downloads during its own, so the worst-case pair delay is
   the sum of the two nodes' worst-case waits to come online.
+
+The delay functions are built on :class:`IncrementalAPSP`, which maintains
+all-pairs shortest paths under one-node-at-a-time insertion in O(n²) per
+insert.  That makes the delay of every *prefix* of a replica selection
+sequence available along the way: the state after inserting the first
+``k+1`` members is exactly the state the full rebuild for that prefix
+would produce, operation for operation — which is what lets the
+incremental sweep engine (:mod:`repro.core.incremental`) report
+float-identical delays for all replication degrees in a single pass.
 """
 
 from __future__ import annotations
@@ -25,11 +34,13 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.graph.social_graph import UserId
 from repro.timeline.day import DAY_SECONDS, seconds_to_hours
 from repro.timeline.intervals import IntervalSet
+
+_EMPTY = IntervalSet.empty()
 
 
 @dataclass(frozen=True)
@@ -63,6 +74,170 @@ class ReplicaGroup:
     def union_schedule(self) -> IntervalSet:
         """When the profile is reachable: any member online."""
         return IntervalSet.union_all(self.schedules[m] for m in self.members)
+
+
+class OverlapCache:
+    """Memoized symmetric pairwise schedule overlaps, keyed by user id.
+
+    One instance per user under evaluation lets every ``overlap`` scan be
+    paid at most once, no matter how many consumers ask: ConRep candidate
+    filtering in the placement policies, the connectivity edge weights of
+    every prefix degree, and the incremental sweep engine all share the
+    same matrix.  Values are exactly ``schedule.overlap(schedule)`` on the
+    schedules supplied (users without one count as never online), so
+    cached and uncached paths produce identical floats.
+    """
+
+    __slots__ = ("_schedules", "_cache")
+
+    def __init__(self, schedules: Mapping[UserId, IntervalSet]):
+        self._schedules = schedules
+        self._cache: Dict[Tuple[UserId, UserId], float] = {}
+
+    def schedule_of(self, user: UserId) -> IntervalSet:
+        return self._schedules.get(user, _EMPTY)
+
+    def overlap(self, a: UserId, b: UserId) -> float:
+        """Seconds per day both users are online (memoized, symmetric)."""
+        key = (a, b) if a <= b else (b, a)
+        value = self._cache.get(key)
+        if value is None:
+            value = self.schedule_of(a).overlap(self.schedule_of(b))
+            self._cache[key] = value
+        return value
+
+    def overlaps(self, a: UserId, b: UserId) -> bool:
+        """Whether the two users are connected in time."""
+        return self.overlap(a, b) > 0
+
+
+class IncrementalAPSP:
+    """All-pairs shortest-path distances under one-node-at-a-time insertion.
+
+    Inserting a node ``v`` with its edge weights to the existing nodes
+    costs O(n²): first ``d(v, j) = min_u(w(v, u) + d(u, j))`` over ``v``'s
+    neighbours (a shortest path leaves ``v`` exactly once, so the ``u → j``
+    tail only uses old nodes), then every old pair relaxes through ``v``
+    via ``d(i, j) = min(d(i, j), d(i, v) + d(v, j))``.  Unreachable pairs
+    hold ``math.inf``.
+
+    The state after ``k`` insertions depends only on the first ``k``
+    inserted nodes — rebuilding from scratch for every prefix of a member
+    sequence performs the exact same float operations, which is the
+    bit-identity contract between the naive per-degree evaluation and the
+    incremental sweep engine.
+    """
+
+    __slots__ = ("_nodes", "_dist")
+
+    def __init__(self) -> None:
+        self._nodes: List[UserId] = []
+        self._dist: Dict[UserId, Dict[UserId, float]] = {}
+
+    @property
+    def nodes(self) -> Tuple[UserId, ...]:
+        """Inserted nodes, in insertion order."""
+        return tuple(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def distance(self, a: UserId, b: UserId) -> float:
+        """Shortest-path distance (``math.inf`` when unreachable)."""
+        return self._dist[a][b]
+
+    def insert(self, node: UserId, weights: Mapping[UserId, float]) -> None:
+        """Add ``node``; ``weights`` maps existing neighbours to edge cost."""
+        if node in self._dist:
+            raise ValueError(f"node {node!r} already inserted")
+        dist = self._dist
+        row: Dict[UserId, float] = {node: 0.0}
+        for j in self._nodes:
+            best = math.inf
+            for u, w in weights.items():
+                tail = dist[u][j]
+                if tail < math.inf:
+                    through = w + tail
+                    if through < best:
+                        best = through
+            row[j] = best
+        for i in self._nodes:
+            via = row[i]
+            row_i = dist[i]
+            row_i[node] = via
+            if via < math.inf:
+                for j in self._nodes:
+                    relaxed = via + row[j]
+                    if relaxed < row_i[j]:
+                        row_i[j] = relaxed
+        dist[node] = row
+        self._nodes.append(node)
+
+    def diameter_seconds(self) -> float:
+        """The weighted diameter: max pair distance, ``inf`` if some pair
+        is disconnected, 0 for fewer than two nodes."""
+        worst = 0.0
+        for i in self._nodes:
+            row = self._dist[i]
+            for j in self._nodes:
+                if row[j] > worst:
+                    worst = row[j]
+                    if worst == math.inf:
+                        return math.inf
+        return worst
+
+    def worst_observed_seconds(
+        self, schedules: Mapping[UserId, IntervalSet]
+    ) -> float:
+        """Worst pair wait counting only the receiver's online seconds.
+
+        For each ordered pair the actual shortest-path wait ``d`` spans
+        ``k`` full days (each contributing the receiver's daily measure)
+        plus a partial day contributing at most ``min(remainder,
+        measure)`` — the tight upper bound over window phases.  Returns
+        ``inf`` as soon as any pair is disconnected.
+        """
+        worst = 0.0
+        for i in self._nodes:
+            row = self._dist[i]
+            for j in self._nodes:
+                if j == i:
+                    continue
+                d = row[j]
+                if d == math.inf:
+                    return math.inf
+                sched = schedules[j]
+                full_days, remainder = divmod(d, DAY_SECONDS)
+                observed = (
+                    full_days * sched.measure + min(remainder, sched.measure)
+                )
+                if observed > worst:
+                    worst = observed
+        return worst
+
+
+def group_apsp(
+    group: ReplicaGroup, cache: Optional[OverlapCache] = None
+) -> IncrementalAPSP:
+    """Member-order APSP over the group's time-connectivity graph."""
+    cache = cache or OverlapCache(group.schedules)
+    apsp = IncrementalAPSP()
+    for member in group.members:
+        apsp.insert(member, member_edge_weights(cache, member, apsp.nodes))
+    return apsp
+
+
+def member_edge_weights(
+    cache: OverlapCache, member: UserId, existing: Iterable[UserId]
+) -> Dict[UserId, float]:
+    """Edge weights ``DAY - overlap`` from ``member`` to the existing
+    members it is connected in time with."""
+    weights: Dict[UserId, float] = {}
+    for other in existing:
+        overlap = cache.overlap(member, other)
+        if overlap > 0:
+            weights[other] = DAY_SECONDS - overlap
+    return weights
 
 
 def connectivity_edges(
@@ -120,51 +295,24 @@ def actual_propagation_delay_hours(group: ReplicaGroup) -> float:
     members is not connected through overlaps (cannot happen for groups
     built under ConRep).
     """
-    members = group.members
-    if len(members) <= 1:
+    if len(group.members) <= 1:
         return 0.0
-    edges = connectivity_edges(group)
-    worst = 0.0
-    for source in members:
-        dist = shortest_path_lengths(edges, source)
-        src_worst = max(dist.values())
-        if src_worst > worst:
-            worst = src_worst
-        if worst == math.inf:
-            return math.inf
-    return seconds_to_hours(worst)
+    return seconds_to_hours(group_apsp(group).diameter_seconds())
 
 
 def observed_propagation_delay_hours(group: ReplicaGroup) -> float:
     """Worst observed delay: the diameter wait with the *receiver's*
     offline time excluded (§II-C3's second aspect).
 
-    For each pair we take the actual shortest-path wait ``D`` and count
-    only the receiver's online seconds inside that window.  For a
-    daily-periodic schedule the window's ``k`` full days contribute
-    ``k × measure`` each and the partial day at most ``min(remainder,
-    measure)`` — the tight upper bound over window phases.  This is always
-    ``<=`` the actual delay; the DES simulator measures the exact
-    per-event value empirically.
+    This is always ``<=`` the actual delay (see
+    :meth:`IncrementalAPSP.worst_observed_seconds` for the periodic
+    bound); the DES simulator measures the exact per-event value
+    empirically.
     """
-    members = group.members
-    if len(members) <= 1:
+    if len(group.members) <= 1:
         return 0.0
-    edges = connectivity_edges(group)
-    worst = 0.0
-    for source in members:
-        dist = shortest_path_lengths(edges, source)
-        for target, d in dist.items():
-            if target == source:
-                continue
-            if d == math.inf:
-                return math.inf
-            sched = group.schedules[target]
-            full_days, remainder = divmod(d, DAY_SECONDS)
-            observed = full_days * sched.measure + min(remainder, sched.measure)
-            if observed > worst:
-                worst = observed
-    return seconds_to_hours(worst)
+    apsp = group_apsp(group)
+    return seconds_to_hours(apsp.worst_observed_seconds(group.schedules))
 
 
 def unconrep_propagation_delay_hours(group: ReplicaGroup) -> float:
@@ -173,23 +321,41 @@ def unconrep_propagation_delay_hours(group: ReplicaGroup) -> float:
     An update created at node ``i`` (worst case: the moment ``i`` goes
     offline) is uploaded at ``i``'s next online window — at most
     ``DAY - |OT_i|`` away — and then downloaded by ``j`` at ``j``'s next
-    window — at most ``DAY - |OT_j|`` after the upload.  The group delay is
-    the maximum over ordered pairs.  Members who are never online make the
-    delay infinite.
+    window — at most ``DAY - |OT_j|`` after the upload.  The worst ordered
+    pair is just the two largest per-member waits, so a top-2 scan replaces
+    the quadratic pair loop.  Members who are never online make the delay
+    infinite.
     """
     members = group.members
     if len(members) <= 1:
         return 0.0
-    waits = {}
+    top1 = top2 = -math.inf
     for m in members:
         measure = group.schedules[m].measure
         if measure <= 0:
             return math.inf
-        waits[m] = DAY_SECONDS - measure
+        wait = DAY_SECONDS - measure
+        if wait >= top1:
+            top1, top2 = wait, top1
+        elif wait > top2:
+            top2 = wait
+    return seconds_to_hours(top1 + top2)
+
+
+def observed_unconrep_delay_hours(
+    schedules: Iterable[IntervalSet], actual_hours: float
+) -> float:
+    """Observed counterpart of the UnconRep delay: cap each receiver's wait
+    by his own online time inside the actual window (same periodic bound
+    as the ConRep observed delay)."""
+    if actual_hours == 0.0:
+        return 0.0
+    if math.isinf(actual_hours):
+        return math.inf
     worst = 0.0
-    for i in members:
-        for j in members:
-            if i == j:
-                continue
-            worst = max(worst, waits[i] + waits[j])
-    return seconds_to_hours(worst)
+    actual_seconds = actual_hours * 3600.0
+    for sched in schedules:
+        full_days, remainder = divmod(actual_seconds, DAY_SECONDS)
+        observed = full_days * sched.measure + min(remainder, sched.measure)
+        worst = max(worst, observed)
+    return worst / 3600.0

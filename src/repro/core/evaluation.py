@@ -25,6 +25,11 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.incremental import (
+    INCREMENTAL,
+    IncrementalGroupEvaluator,
+    check_engine,
+)
 from repro.core.metrics import UserMetrics, evaluate_user
 from repro.core.placement.base import (
     CONREP,
@@ -227,19 +232,28 @@ def evaluate_placements(
     k: int,
     *,
     mode: str = CONREP,
+    engine: str = INCREMENTAL,
 ) -> AggregateMetrics:
     """Evaluate the degree-``k`` prefix of each user's selection sequence."""
-    per_user = [
-        evaluate_user(
-            dataset,
-            schedules,
-            user,
-            seq[:k],
-            allowed_degree=k,
-            mode=mode,
-        )
-        for user, seq in sequences.items()
-    ]
+    if check_engine(engine) == INCREMENTAL:
+        per_user = [
+            IncrementalGroupEvaluator(
+                dataset, schedules, user, mode=mode
+            ).evaluate(seq, k)
+            for user, seq in sequences.items()
+        ]
+    else:
+        per_user = [
+            evaluate_user(
+                dataset,
+                schedules,
+                user,
+                seq[:k],
+                allowed_degree=k,
+                mode=mode,
+            )
+            for user, seq in sequences.items()
+        ]
     return AggregateMetrics.from_users(per_user)
 
 
@@ -254,6 +268,7 @@ def sweep_replication_degree(
     seed: int = 0,
     repeats: int = 1,
     executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Metric means per policy per allowed replication degree.
 
@@ -263,10 +278,14 @@ def sweep_replication_degree(
     The per-user work (sequence selection at the maximum degree, then
     prefix evaluation at every swept degree) runs through ``executor``;
     with ``jobs > 1`` it spreads over worker processes and returns
-    results bit-identical to the serial run.
+    results bit-identical to the serial run.  ``engine`` selects the
+    prefix-evaluation path: ``"incremental"`` (default — one forward pass
+    per user covers every swept degree) or ``"naive"`` (the reference
+    per-degree oracle; float-identical, only slower).
     """
     if not users:
         raise ValueError("empty user cohort")
+    check_engine(engine)
     executor = executor or ParallelExecutor()
     users = list(users)
     degrees = list(degrees)
@@ -285,6 +304,7 @@ def sweep_replication_degree(
             degrees=tuple(degrees),
             max_degree=max_degree,
             seed=run_seed,
+            engine=engine,
         )
         per_user = executor.map_shared(
             evaluate_users_chunk,
@@ -316,6 +336,7 @@ def sweep_session_length(
     seed: int = 0,
     repeats: int = 1,
     executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Fig. 8: fixed replication degree, Sporadic session length swept."""
     results: Dict[str, List[AggregateMetrics]] = {p.name: [] for p in policies}
@@ -331,6 +352,7 @@ def sweep_session_length(
             seed=seed,
             repeats=repeats,
             executor=executor,
+            engine=engine,
         )
         for name, series in point.items():
             results[name].append(series[0])
@@ -348,6 +370,7 @@ def sweep_user_degree(
     seed: int = 0,
     repeats: int = 1,
     executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> Dict[str, List[Optional[AggregateMetrics]]]:
     """Fig. 9: cohorts of user degree 1..10, replication degree maximal.
 
@@ -374,6 +397,7 @@ def sweep_user_degree(
             seed=seed,
             repeats=repeats,
             executor=executor,
+            engine=engine,
         )
         for name, series in point.items():
             results[name].append(series[0])

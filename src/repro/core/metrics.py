@@ -22,7 +22,6 @@ daily schedules:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
@@ -30,6 +29,7 @@ from repro.core.connectivity import (
     ReplicaGroup,
     actual_propagation_delay_hours,
     observed_propagation_delay_hours,
+    observed_unconrep_delay_hours,
     unconrep_propagation_delay_hours,
 )
 from repro.core.placement.base import CONREP, UNCONREP
@@ -160,18 +160,8 @@ def evaluate_user(
 
 
 def _observed_unconrep(group: ReplicaGroup, actual_hours: float) -> float:
-    """Observed counterpart of the UnconRep delay: cap each receiver's wait
-    by his own online time inside the actual window (same periodic bound
-    as the ConRep observed delay)."""
-    if actual_hours == 0.0:
-        return 0.0
-    if math.isinf(actual_hours):
-        return math.inf
-    worst = 0.0
-    actual_seconds = actual_hours * 3600.0
-    for member in group.members:
-        sched = group.schedules[member]
-        full_days, remainder = divmod(actual_seconds, DAY_SECONDS)
-        observed = full_days * sched.measure + min(remainder, sched.measure)
-        worst = max(worst, observed)
-    return worst / 3600.0
+    """Observed counterpart of the UnconRep delay (shared periodic bound
+    in :func:`repro.core.connectivity.observed_unconrep_delay_hours`)."""
+    return observed_unconrep_delay_hours(
+        (group.schedules[m] for m in group.members), actual_hours
+    )

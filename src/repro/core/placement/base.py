@@ -21,8 +21,9 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.core.connectivity import OverlapCache
 from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
 from repro.onlinetime.base import Schedules
@@ -42,6 +43,11 @@ class PlacementContext:
     user: UserId
     mode: str = CONREP
     rng: random.Random = field(default_factory=lambda: random.Random(0))
+    #: Optional per-user memoized pairwise overlap matrix.  When set, the
+    #: ConRep connectivity filter routes its overlap scans through it, so
+    #: the scans are shared with (and reused by) the incremental
+    #: evaluation engine; selections are identical either way.
+    overlap_cache: Optional[OverlapCache] = None
 
     def __post_init__(self) -> None:
         if self.mode not in (CONREP, UNCONREP):
@@ -61,11 +67,19 @@ class ConnectivityTracker:
 
     The group's reachable time is the union of the members' schedules
     (owner-seeded); a candidate is *connected* iff his schedule overlaps
-    that union — equivalently, overlaps at least one member.
+    that union — equivalently, overlaps at least one member.  Both
+    formulations are implemented: with a :class:`PlacementContext`
+    ``overlap_cache`` the per-member pairwise check is used, so every
+    overlap scan lands in the cache shared with the incremental
+    evaluation engine; otherwise the candidate is checked against the
+    maintained union.  The two are decision-equivalent (the union has
+    positive-length intersection with a candidate iff some member does).
     """
 
     def __init__(self, ctx: PlacementContext):
         self._ctx = ctx
+        self._cache = ctx.overlap_cache
+        self._members: List[UserId] = [ctx.user]
         self._group_schedule = ctx.schedule_of(ctx.user)
 
     @property
@@ -73,9 +87,13 @@ class ConnectivityTracker:
         return self._group_schedule
 
     def is_connected(self, candidate: UserId) -> bool:
+        if self._cache is not None:
+            cache = self._cache
+            return any(cache.overlaps(candidate, m) for m in self._members)
         return self._ctx.schedule_of(candidate).overlaps(self._group_schedule)
 
     def admit(self, candidate: UserId) -> None:
+        self._members.append(candidate)
         self._group_schedule = self._group_schedule.union(
             self._ctx.schedule_of(candidate)
         )

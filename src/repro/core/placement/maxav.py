@@ -66,17 +66,23 @@ class MaxAvPlacement(PlacementPolicy):
             return ()
         universe = self._universe(ctx)
         tracker = ConnectivityTracker(ctx) if ctx.mode == CONREP else None
+        # ctx.candidates is already sorted; scanning that fixed order with a
+        # strict ``>`` reproduces the per-round sorted() tie-break exactly.
+        order = ctx.candidates
         remaining: Dict[UserId, IntervalSet] = {
-            c: ctx.schedule_of(c) for c in ctx.candidates
+            c: ctx.schedule_of(c) for c in order
         }
         chosen: List[UserId] = []
         while remaining and len(chosen) < k:
             best_key = None
             best_gain = 0.0
-            for key in sorted(remaining):
+            for key in order:
+                schedule = remaining.get(key)
+                if schedule is None:
+                    continue  # chosen in an earlier round
                 if tracker is not None and not tracker.is_connected(key):
                     continue
-                gain = universe.gain(remaining[key])
+                gain = universe.gain(schedule)
                 if gain > best_gain:
                     best_gain = gain
                     best_key = key

@@ -102,15 +102,25 @@ def greedy_cover(
     vanish, or ``max_picks`` choices were made.  Returns keys in selection
     order.  The constrained (ConRep) variant lives in the placement policy,
     which drives the same ``gain``/``commit`` interface directly.
+
+    The candidate keys are sorted once up front; each round scans that
+    fixed order and skips keys already picked.  Scanning ascending keys
+    with a strict ``>`` comparison picks the smallest key among the
+    maximal gains — exactly the tie-break the old per-round
+    ``sorted(remaining)`` produced, so selection order is unchanged.
     """
     remaining = dict(candidates)
+    order = sorted(remaining)
     picked: List[Hashable] = []
     limit = len(remaining) if max_picks is None else max_picks
     while remaining and len(picked) < limit:
         best_key = None
         best_gain = 0.0
-        for key in sorted(remaining):
-            g = universe.gain(remaining[key])
+        for key in order:
+            schedule = remaining.get(key)
+            if schedule is None:
+                continue  # already picked in an earlier round
+            g = universe.gain(schedule)
             if g > best_gain:
                 best_gain = g
                 best_key = key

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import (
     CONREP,
+    INCREMENTAL,
     UNCONREP,
     evaluate_user,
     make_policy,
@@ -106,6 +107,7 @@ def _panel_sweep(
     metric: str,
     models: Optional[Sequence[Tuple[str, OnlineTimeModel]]] = None,
     executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> None:
     """Run the degree sweep for each panel model and add one table each."""
     users = _cohort(dataset, scale)
@@ -121,6 +123,7 @@ def _panel_sweep(
             seed=scale.seed,
             repeats=scale.repeats,
             executor=executor,
+            engine=engine,
         )
         rows = []
         for i, k in enumerate(DEGREES):
@@ -159,7 +162,10 @@ def _panel_sweep(
 
 
 def table1_dataset_stats(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     """§IV-A in-text dataset statistics, measured vs paper."""
     result = ExperimentResult(
@@ -212,7 +218,10 @@ def table1_dataset_stats(
 
 
 def fig2_degree_distribution(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     """Fig. 2: user degree distribution of both datasets."""
     result = ExperimentResult(
@@ -246,7 +255,10 @@ def fig2_degree_distribution(
 
 
 def fig3_fb_conrep_availability(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig3",
@@ -267,12 +279,16 @@ def fig3_fb_conrep_availability(
         mode=CONREP,
         metric="availability",
         executor=executor,
+        engine=engine,
     )
     return result
 
 
 def fig4_fb_unconrep_availability(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig4",
@@ -298,12 +314,16 @@ def fig4_fb_unconrep_availability(
         metric="availability",
         models=models,
         executor=executor,
+        engine=engine,
     )
     return result
 
 
 def fig5_fb_conrep_aod_time(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig5",
@@ -324,12 +344,16 @@ def fig5_fb_conrep_aod_time(
         mode=CONREP,
         metric="aod_time",
         executor=executor,
+        engine=engine,
     )
     return result
 
 
 def fig6_fb_conrep_aod_activity(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig6",
@@ -350,12 +374,16 @@ def fig6_fb_conrep_aod_activity(
         mode=CONREP,
         metric="aod_activity",
         executor=executor,
+        engine=engine,
     )
     return result
 
 
 def fig7_fb_conrep_delay(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig7",
@@ -376,12 +404,16 @@ def fig7_fb_conrep_delay(
         mode=CONREP,
         metric="delay_hours_actual",
         executor=executor,
+        engine=engine,
     )
     return result
 
 
 def fig8_session_length(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig8",
@@ -407,6 +439,7 @@ def fig8_session_length(
         seed=scale.seed,
         repeats=scale.repeats,
         executor=executor,
+        engine=engine,
     )
     for metric, label in _METRIC_LABELS.items():
         rows = []
@@ -434,7 +467,10 @@ def fig8_session_length(
 
 
 def fig9_user_degree(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig9",
@@ -462,6 +498,7 @@ def fig9_user_degree(
         seed=scale.seed,
         repeats=scale.repeats,
         executor=executor,
+        engine=engine,
     )
 
     def row_of(metric):
@@ -512,7 +549,10 @@ def fig9_user_degree(
 
 
 def fig10_tw_conrep_availability(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig10",
@@ -530,12 +570,16 @@ def fig10_tw_conrep_availability(
         mode=CONREP,
         metric="availability",
         executor=executor,
+        engine=engine,
     )
     return result
 
 
 def fig11_tw_conrep_aod_time(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig11",
@@ -557,6 +601,7 @@ def fig11_tw_conrep_aod_time(
         mode=CONREP,
         metric="aod_time",
         executor=executor,
+        engine=engine,
     )
     return result
 
@@ -567,7 +612,10 @@ def fig11_tw_conrep_aod_time(
 
 
 def x1_des_validation(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     """Replay a placed cohort in the discrete-event simulator and compare
     the empirical measurements against the closed-form metrics."""
@@ -666,7 +714,10 @@ def x1_des_validation(
 
 
 def x2_expected_unexpected(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     """§IV-B: the expected/unexpected split of profile activity.
 
@@ -748,7 +799,10 @@ def x2_expected_unexpected(
 
 
 def x3_observed_vs_actual_delay(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     """§II-C3: the observed propagation delay vs the actual one.
 
@@ -804,7 +858,10 @@ def x3_observed_vs_actual_delay(
 
 
 def x4_hosting_fairness(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     """§II-B1: fairness of the hosting load across the whole network.
 
@@ -878,7 +935,10 @@ def x4_hosting_fairness(
 
 
 def x5_owner_notification(
-    scale: ExperimentScale, *, executor: Optional[ParallelExecutor] = None
+    scale: ExperimentScale,
+    *,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     """§II requirement: the owner should receive updates on his profile
     even when they arrive while he is offline.
@@ -991,11 +1051,17 @@ def run_experiment(
     *,
     jobs: int = 1,
     executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
 ) -> ExperimentResult:
     """Run one experiment by id at the given scale.
 
     ``jobs`` (or a pre-built ``executor``) parallelises the per-user sweep
     work over worker processes; results are bit-identical to ``jobs=1``.
+    ``engine`` selects the prefix-evaluation path for the degree sweeps
+    (``"incremental"`` by default; ``"naive"`` forces the per-degree
+    reference oracle — float-identical output, only slower).  Experiments
+    that run no degree sweep (table1, fig2, and the x-series diagnostics,
+    which deliberately exercise the oracle path) accept and ignore it.
     Phase wall-clock/throughput timings land in ``result.timings`` and are
     serialised into the experiment's JSON by ``run_batch``.
     """
@@ -1009,10 +1075,11 @@ def run_experiment(
     if executor is None:
         executor = ParallelExecutor(jobs=jobs)
     start = perf_counter()
-    result = fn(scale, executor=executor)
+    result = fn(scale, executor=executor, engine=engine)
     result.timings = {
         "total_seconds": round(perf_counter() - start, 6),
         "jobs": executor.effective_jobs,
+        "engine": engine,
         "phases": executor.timings_dict(),
     }
     return result

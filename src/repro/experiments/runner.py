@@ -16,6 +16,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.core.incremental import INCREMENTAL
 from repro.experiments.config import BENCH, ExperimentScale
 from repro.experiments.figures import experiment_ids, run_experiment
 from repro.experiments.report import ExperimentResult
@@ -96,11 +97,14 @@ def run_batch(
     scale: ExperimentScale = BENCH,
     ids: Optional[Iterable[str]] = None,
     jobs: int = 1,
+    engine: str = INCREMENTAL,
 ) -> List[Path]:
     """Run experiments and write ``<id>.txt`` + ``<id>.json`` per entry.
 
     ``jobs`` parallelises each experiment's per-user work over worker
-    processes (results are bit-identical to ``jobs=1``); each experiment's
+    processes (results are bit-identical to ``jobs=1``); ``engine``
+    selects the sweep evaluation path (``"incremental"`` default,
+    ``"naive"`` reference — same output either way).  Each experiment's
     JSON carries its phase timings.  Returns the paths written.  The
     directory is created if missing.
     """
@@ -108,7 +112,7 @@ def run_batch(
     out.mkdir(parents=True, exist_ok=True)
     written: List[Path] = []
     for eid in ids if ids is not None else experiment_ids():
-        result = run_experiment(eid, scale, jobs=jobs)
+        result = run_experiment(eid, scale, jobs=jobs, engine=engine)
         txt_path = out / f"{eid}.txt"
         txt_path.write_text(result.render() + "\n", encoding="utf-8")
         json_path = out / f"{eid}.json"

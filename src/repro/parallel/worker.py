@@ -5,6 +5,14 @@ metrics for the sweeps — the serial path calls them inline with the very
 same payload, which is what makes ``jobs=N`` results bit-identical to
 ``jobs=1`` by construction.
 
+Per-user degree sweeps run through the incremental prefix-evaluation
+engine (:mod:`repro.core.incremental`) by default: one forward pass over
+the selection sequence yields the metrics of every swept degree, sharing
+one pairwise-overlap matrix between the ConRep placement filter and the
+evaluation.  ``SweepPayload.engine = "naive"`` selects the reference
+per-degree :func:`evaluate_user` path instead (same results, float for
+float — that equivalence is property-tested and benchmarked).
+
 Both kernels are top-level functions over a frozen payload, so a process
 pool can ship them to workers by reference (the payload itself travels
 once, at pool initialisation).
@@ -13,8 +21,14 @@ once, at pool initialisation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.connectivity import OverlapCache
+from repro.core.incremental import (
+    INCREMENTAL,
+    IncrementalGroupEvaluator,
+    check_engine,
+)
 from repro.core.metrics import UserMetrics, evaluate_user
 from repro.core.placement.base import CONREP, PlacementContext, PlacementPolicy
 from repro.datasets.schema import Dataset
@@ -37,10 +51,15 @@ class SweepPayload:
     degrees: Tuple[int, ...]
     max_degree: int
     seed: int
+    #: Prefix-evaluation engine: ``"incremental"`` (default) or ``"naive"``.
+    engine: str = INCREMENTAL
 
 
 def _sequence_for(
-    payload: "SweepPayload", policy: PlacementPolicy, user: UserId
+    payload: "SweepPayload",
+    policy: PlacementPolicy,
+    user: UserId,
+    overlap_cache: Optional[OverlapCache] = None,
 ) -> Tuple[UserId, ...]:
     """One user's full selection sequence under one policy.
 
@@ -54,6 +73,7 @@ def _sequence_for(
         user=user,
         mode=payload.mode,
         rng=derive_rng(payload.seed, policy.name, user),
+        overlap_cache=overlap_cache,
     )
     return policy.select(ctx, payload.max_degree)
 
@@ -66,23 +86,42 @@ def evaluate_users_chunk(
     Each policy's selection sequence is computed once per user at the
     maximum swept degree; every smaller degree is evaluated on its prefix
     (the incremental-selection property the sweep harness relies on).
+    With the incremental engine, all prefix degrees of a sequence are
+    evaluated in one forward pass, and the per-user overlap matrix is
+    shared between placement filtering and evaluation across all policies.
     """
+    incremental = check_engine(payload.engine) == INCREMENTAL
     out: List[UserCell] = []
     for user in users:
         cell: UserCell = {}
-        for policy in payload.policies:
-            sequence = _sequence_for(payload, policy, user)
-            cell[policy.name] = tuple(
-                evaluate_user(
-                    payload.dataset,
-                    payload.schedules,
-                    user,
-                    sequence[:k],
-                    allowed_degree=k,
-                    mode=payload.mode,
-                )
-                for k in payload.degrees
+        if incremental:
+            evaluator = IncrementalGroupEvaluator(
+                payload.dataset,
+                payload.schedules,
+                user,
+                mode=payload.mode,
             )
+            cache = evaluator.overlap_cache
+        else:
+            evaluator = cache = None
+        for policy in payload.policies:
+            sequence = _sequence_for(payload, policy, user, cache)
+            if evaluator is not None:
+                cell[policy.name] = evaluator.evaluate_prefixes(
+                    sequence, payload.degrees
+                )
+            else:
+                cell[policy.name] = tuple(
+                    evaluate_user(
+                        payload.dataset,
+                        payload.schedules,
+                        user,
+                        sequence[:k],
+                        allowed_degree=k,
+                        mode=payload.mode,
+                    )
+                    for k in payload.degrees
+                )
         out.append(cell)
     return out
 

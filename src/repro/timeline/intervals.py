@@ -174,19 +174,21 @@ class IntervalSet:
 
         Returns ``0`` when ``t`` is already covered, and ``math.inf`` for
         the empty set.  The day is periodic, so the wait is always
-        ``< DAY_SECONDS`` for a non-empty set.
+        ``< DAY_SECONDS`` for a non-empty set.  O(log n) in the number of
+        intervals: the bisection locating ``t`` also locates the next
+        interval (the canonical form is sorted and disjoint, so the
+        successor of the interval starting at or before ``t`` is the
+        first one starting after it).
         """
         if not self._intervals:
             return math.inf
         t %= DAY_SECONDS
         idx = bisect_right(self._intervals, (t, math.inf)) - 1
-        if idx >= 0:
-            start, end = self._intervals[idx]
-            if start <= t < end:
-                return 0.0
-        for start, _ in self._intervals:
-            if start >= t:
-                return start - t
+        if idx >= 0 and t < self._intervals[idx][1]:
+            return 0.0  # intervals[idx].start <= t by the bisection
+        nxt = idx + 1
+        if nxt < len(self._intervals):
+            return self._intervals[nxt][0] - t
         # Wrap to the first interval of the next day.
         return DAY_SECONDS - t + self._intervals[0][0]
 

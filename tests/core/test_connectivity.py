@@ -7,14 +7,19 @@ does not overlap v3 — the update propagation delay must come out at
 """
 
 import math
+import random
 
 import pytest
 
 from repro.core import (
+    IncrementalAPSP,
+    OverlapCache,
     ReplicaGroup,
     actual_propagation_delay_hours,
     connectivity_edges,
+    group_apsp,
     is_connected,
+    member_edge_weights,
     observed_propagation_delay_hours,
     shortest_path_lengths,
     unconrep_propagation_delay_hours,
@@ -163,6 +168,127 @@ class TestObservedDelay:
         assert observed_propagation_delay_hours(g) == math.inf
 
 
+class TestIncrementalAPSP:
+    def _random_graph(self, rng, n):
+        """Random symmetric positive weights with some edges missing."""
+        weights = {}
+        for i in range(n):
+            for j in range(i):
+                if rng.random() < 0.6:
+                    weights[(i, j)] = rng.random() * 100.0 + 1.0
+        return weights
+
+    def test_matches_dijkstra_on_random_graphs(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            n = rng.randint(1, 8)
+            weights = self._random_graph(rng, n)
+            apsp = IncrementalAPSP()
+            for i in range(n):
+                apsp.insert(
+                    i,
+                    {j: w for (a, j), w in weights.items() if a == i},
+                )
+            edges = {i: {} for i in range(n)}
+            for (i, j), w in weights.items():
+                edges[i][j] = w
+                edges[j][i] = w
+            for src in range(n):
+                dist = shortest_path_lengths(edges, src)
+                for dst in range(n):
+                    assert apsp.distance(src, dst) == pytest.approx(
+                        dist[dst]
+                    ) or (
+                        apsp.distance(src, dst) == math.inf
+                        and dist[dst] == math.inf
+                    )
+
+    def test_insertion_order_is_recorded(self):
+        apsp = IncrementalAPSP()
+        apsp.insert("b", {})
+        apsp.insert("a", {"b": 3.0})
+        assert apsp.nodes == ("b", "a")
+        assert len(apsp) == 2
+        assert apsp.distance("a", "b") == 3.0
+
+    def test_duplicate_insert_rejected(self):
+        apsp = IncrementalAPSP()
+        apsp.insert(0, {})
+        with pytest.raises(ValueError):
+            apsp.insert(0, {})
+
+    def test_new_node_bridges_old_components(self):
+        # 0 and 1 start disconnected; 2 connects them with 1 + 2 = 3.
+        apsp = IncrementalAPSP()
+        apsp.insert(0, {})
+        apsp.insert(1, {})
+        assert apsp.distance(0, 1) == math.inf
+        apsp.insert(2, {0: 1.0, 1: 2.0})
+        assert apsp.distance(0, 1) == 3.0
+        assert apsp.distance(1, 0) == 3.0
+        assert apsp.diameter_seconds() == 3.0
+
+    def test_diameter_trivial_cases(self):
+        apsp = IncrementalAPSP()
+        assert apsp.diameter_seconds() == 0.0
+        apsp.insert(0, {})
+        assert apsp.diameter_seconds() == 0.0
+
+    def test_prefix_state_equals_rebuild(self):
+        """The engine's bit-identity hinge: the state after k insertions
+        must equal a from-scratch build over the first k nodes, exactly."""
+        rng = random.Random(3)
+        n = 7
+        weights = self._random_graph(rng, n)
+        running = IncrementalAPSP()
+        for k in range(n):
+            running.insert(
+                k, {j: w for (a, j), w in weights.items() if a == k}
+            )
+            rebuilt = IncrementalAPSP()
+            for i in range(k + 1):
+                rebuilt.insert(
+                    i, {j: w for (a, j), w in weights.items() if a == i}
+                )
+            for i in range(k + 1):
+                for j in range(k + 1):
+                    assert running.distance(i, j) == rebuilt.distance(i, j)
+
+    def test_group_apsp_matches_connectivity_edges(self):
+        g = _group(_hours(0, 4), [_hours(3, 8), _hours(7, 10)])
+        apsp = group_apsp(g)
+        edges = connectivity_edges(g)
+        for src in g.members:
+            dist = shortest_path_lengths(edges, src)
+            for dst in g.members:
+                assert apsp.distance(src, dst) == dist[dst]
+
+    def test_member_edge_weights_skip_disjoint(self):
+        g = _group(_hours(0, 4), [_hours(2, 6), _hours(10, 12)])
+        cache = OverlapCache(g.schedules)
+        weights = member_edge_weights(cache, 2, (0, 1))
+        assert weights == {}  # replica 2 overlaps nobody
+        weights = member_edge_weights(cache, 1, (0,))
+        assert weights == {0: DAY_SECONDS - 2 * HOUR_SECONDS}
+
+
+class TestOverlapCache:
+    def test_matches_direct_overlap_and_memoizes(self):
+        schedules = {0: _hours(0, 4), 1: _hours(2, 6)}
+        cache = OverlapCache(schedules)
+        direct = schedules[0].overlap(schedules[1])
+        assert cache.overlap(0, 1) == direct
+        assert cache.overlap(1, 0) == direct  # symmetric key
+        assert len(cache._cache) == 1
+        assert cache.overlaps(0, 1)
+
+    def test_missing_user_counts_as_never_online(self):
+        cache = OverlapCache({0: _hours(0, 4)})
+        assert cache.overlap(0, 99) == 0.0
+        assert not cache.overlaps(0, 99)
+        assert cache.schedule_of(99).is_empty
+
+
 class TestUnconRepDelay:
     def test_sum_of_waits(self):
         # Owner online 4h (wait 20h), replica online 2h (wait 22h).
@@ -180,3 +306,42 @@ class TestUnconRepDelay:
         g = _group(_hours(0, 4), [_hours(10, 12)])
         assert actual_propagation_delay_hours(g) == math.inf
         assert unconrep_propagation_delay_hours(g) < math.inf
+
+    def test_duplicate_maximum_wait_counted_twice(self):
+        # Two members tie for the largest wait (22h each); the top-2 scan
+        # must sum the duplicate, not pair the max with the third value.
+        g = _group(_hours(0, 2), [_hours(5, 7), _hours(10, 14)])
+        assert unconrep_propagation_delay_hours(g) == pytest.approx(44.0)
+
+    def test_size_two_group_sums_both_waits(self):
+        # Owner + one replica: exactly the two members' waits, regardless
+        # of which is larger.
+        g = _group(_hours(0, 6), [_hours(10, 12)])  # waits 18h, 22h
+        assert unconrep_propagation_delay_hours(g) == pytest.approx(40.0)
+        flipped = _group(_hours(10, 12), [_hours(0, 6)])
+        assert unconrep_propagation_delay_hours(flipped) == pytest.approx(40.0)
+
+    def test_matches_quadratic_pair_scan(self):
+        # Reference oracle: the worst ordered pair of waits, O(n²).
+        rng = random.Random(11)
+        for _ in range(20):
+            scheds = []
+            for _ in range(rng.randint(1, 6)):
+                start = rng.random() * 20
+                scheds.append(_hours(start, start + rng.random() * 4))
+            g = _group(scheds[0], scheds[1:])
+            waits = [
+                DAY_SECONDS - g.schedules[m].measure for m in g.members
+            ]
+            if len(waits) <= 1:
+                expected = 0.0
+            else:
+                expected = max(
+                    waits[i] + waits[j]
+                    for i in range(len(waits))
+                    for j in range(len(waits))
+                    if i != j
+                ) / HOUR_SECONDS
+            assert unconrep_propagation_delay_hours(g) == pytest.approx(
+                expected
+            )

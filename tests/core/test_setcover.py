@@ -100,6 +100,44 @@ class TestGreedyCover:
         candidates = {"z": _iv((0, 100)), "a": _iv((0, 100))}
         assert greedy_cover(universe, candidates) == ("a",)
 
+    def test_selection_order_regression_on_seeded_instance(self):
+        """The sort-keys-once rewrite must reproduce the per-round
+        ``sorted(remaining)`` tie-break exactly: same keys, same order.
+        Checked against an inline reference implementation on a seeded
+        random instance (ties included, since gains collide)."""
+        import random
+
+        rng = random.Random(42)
+        for trial in range(10):
+            spans = {}
+            for key in range(12):
+                start = rng.randrange(0, 900)
+                spans[key] = _iv((start, start + rng.randrange(50, 300)))
+            universe_pairs = [(0, 1200)]
+
+            picked = greedy_cover(
+                IntervalUniverse(_iv(*universe_pairs)), spans, max_picks=6
+            )
+
+            # Reference: re-sort the remaining keys every round.
+            reference_universe = IntervalUniverse(_iv(*universe_pairs))
+            remaining = dict(spans)
+            reference = []
+            while remaining and len(reference) < 6:
+                best_key = None
+                best_gain = 0.0
+                for key in sorted(remaining):
+                    g = reference_universe.gain(remaining[key])
+                    if g > best_gain:
+                        best_gain = g
+                        best_key = key
+                if best_key is None:
+                    break
+                reference_universe.commit(remaining.pop(best_key))
+                reference.append(best_key)
+
+            assert picked == tuple(reference), f"trial {trial}"
+
     def test_point_universe_cover(self):
         universe = PointUniverse([10, 20, 800, 900])
         candidates = {

@@ -1,6 +1,7 @@
 """Unit tests for the IntervalSet algebra."""
 
 import math
+import random
 
 import pytest
 
@@ -122,6 +123,47 @@ class TestPointQueries:
     def test_wait_until_wraps_to_next_day(self):
         s = IntervalSet([(100, 200)])
         assert s.wait_until(300) == DAY_SECONDS - 300 + 100
+
+    def test_wait_until_mid_gap_jumps_to_next_interval(self):
+        # t strictly between two intervals: the wait targets the successor
+        # of the interval the bisection lands on, not a full scan.
+        s = IntervalSet([(100, 200), (400, 500), (800, 900)])
+        assert s.wait_until(250) == 150
+        assert s.wait_until(600) == 200
+
+    def test_wait_until_at_interval_edges(self):
+        s = IntervalSet([(100, 200), (400, 500)])
+        assert s.wait_until(100) == 0  # closed start
+        assert s.wait_until(200) == 200  # open end: next interval
+        assert s.wait_until(499.5) == 0
+
+    def test_wait_until_wraps_from_last_gap(self):
+        # t after the last interval of a multi-interval set wraps to the
+        # first interval of the next day.
+        s = IntervalSet([(100, 200), (400, 500)])
+        assert s.wait_until(700) == DAY_SECONDS - 700 + 100
+
+    def test_wait_until_matches_linear_scan(self):
+        # Reference oracle: the original O(n) first-start-at-or-after scan.
+        rng = random.Random(5)
+        for _ in range(30):
+            pairs = []
+            for _ in range(rng.randint(1, 6)):
+                start = rng.random() * (DAY_SECONDS - 10)
+                pairs.append((start, start + rng.random() * 5000))
+            s = IntervalSet(pairs)
+            for _ in range(20):
+                t = rng.random() * DAY_SECONDS
+                if s.contains(t):
+                    expected = 0.0
+                else:
+                    starts = [a for a, _ in s.intervals if a >= t]
+                    expected = (
+                        starts[0] - t
+                        if starts
+                        else DAY_SECONDS - t + s.intervals[0][0]
+                    )
+                assert s.wait_until(t) == expected
 
     def test_wait_until_empty_is_inf(self):
         assert IntervalSet.empty().wait_until(0) == math.inf
