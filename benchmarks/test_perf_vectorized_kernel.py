@@ -1,0 +1,140 @@
+"""Vectorized timeline-kernel benchmark: speedup and identity.
+
+Two contracts on the fixed BENCH synthetic Facebook dataset, measured on
+the overlap + set-cover stage (``placement_sequences`` for the greedy
+set-cover policies — MaxAv under both objectives plus Hybrid — which is
+where the batched ``overlap_row``/``batch_gain`` kernels do their work):
+
+1. Bit-identity — always asserted: ``backend="numpy"`` produces exactly
+   the same selection sequences (and therefore metrics) as the scalar
+   python reference.
+2. Speedup — the vectorised kernels must cut wall-clock by >= 2x.
+
+The cohort is the BENCH dataset's 20 highest-degree users.  The default
+degree-10 cohort used by the figure benches gives candidate lists of ~10
+users, far too short for batching to beat interpreter overhead (numpy is
+~1.4x *slower* there, which is why ``backend="python"`` stays the
+default); on hub users with 150+ candidates the batched kernels win by
+>= 3x.  The online-time model is ``FixedLengthModel(8)`` — integer
+endpoints, so the exact duration-sum fast path engages (see
+:mod:`repro.timeline.packed` for the exactness contract).
+
+The measured timings land in ``BENCH_vectorized.json`` at the repo root
+(machine-readable phase -> seconds plus the speedup factor), which CI
+uploads as an artifact so the perf trajectory is tracked PR-over-PR.
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+from repro.core import (
+    NUMPY,
+    PYTHON,
+    MaxAvPlacement,
+    make_policy,
+    placement_sequences,
+)
+from repro.experiments import BENCH, facebook_dataset
+from repro.onlinetime import FixedLengthModel, compute_schedules
+
+MIN_SPEEDUP = 2.0
+COHORT_SIZE = 20
+MAX_DEGREE = 10
+
+_JSON_PATH = Path(
+    os.environ.get(
+        "BENCH_VECTORIZED_JSON",
+        Path(__file__).resolve().parent.parent / "BENCH_vectorized.json",
+    )
+)
+
+
+def _policies():
+    return [
+        MaxAvPlacement(),
+        MaxAvPlacement(objective="activity"),
+        make_policy("hybrid"),
+    ]
+
+
+def _hub_cohort(dataset):
+    """The BENCH dataset's highest-degree users — the candidate lists
+    long enough for the batched kernels to matter."""
+    graph = dataset.graph
+    ranked = sorted(graph.users(), key=lambda u: (graph.degree(u), u))
+    return ranked[-COHORT_SIZE:]
+
+
+def _stage(dataset, schedules, users, backend):
+    """The overlap + set-cover stage: greedy selection for every cohort
+    user under each set-cover policy."""
+    return [
+        placement_sequences(
+            dataset,
+            schedules,
+            users,
+            policy,
+            max_degree=MAX_DEGREE,
+            seed=BENCH.seed,
+            backend=backend,
+        )
+        for policy in _policies()
+    ]
+
+
+def test_vectorized_kernel_speedup_and_identity(benchmark):
+    dataset = facebook_dataset(BENCH)
+    users = _hub_cohort(dataset)
+    schedules = compute_schedules(dataset, FixedLengthModel(8), seed=BENCH.seed)
+    _stage(dataset, schedules, users, NUMPY)  # warm caches, both paths
+    _stage(dataset, schedules, users, PYTHON)
+
+    start = perf_counter()
+    scalar = _stage(dataset, schedules, users, PYTHON)
+    python_seconds = perf_counter() - start
+
+    start = perf_counter()
+    vectorized = benchmark.pedantic(
+        _stage,
+        args=(dataset, schedules, users, NUMPY),
+        rounds=1,
+        iterations=1,
+    )
+    numpy_seconds = perf_counter() - start
+
+    assert vectorized == scalar  # exact sequence equality, every user
+
+    speedup = python_seconds / numpy_seconds
+    record = {
+        "bench": "vectorized_kernel",
+        "cohort": "top-degree hub users",
+        "cohort_users": len(users),
+        "cohort_degrees": [dataset.graph.degree(u) for u in users],
+        "max_degree": MAX_DEGREE,
+        "model": "fixed8",
+        "policies": ["maxav", "maxav-activity", "hybrid"],
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "phases": {
+            "python_seconds": round(python_seconds, 6),
+            "numpy_seconds": round(numpy_seconds, 6),
+        },
+        "speedup": round(speedup, 3),
+        "min_speedup": MIN_SPEEDUP,
+        "identical_results": True,
+    }
+    _JSON_PATH.write_text(
+        json.dumps(record, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print()
+    print(
+        f"python {python_seconds:.2f}s, numpy {numpy_seconds:.2f}s, "
+        f"speedup {speedup:.2f}x -> {_JSON_PATH}"
+    )
+    assert speedup >= MIN_SPEEDUP

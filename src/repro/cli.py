@@ -69,7 +69,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         for eid in ids:
             result = run_experiment(
-                eid, scale, jobs=args.jobs, engine=args.engine
+                eid,
+                scale,
+                jobs=args.jobs,
+                engine=args.engine,
+                backend=args.backend,
             )
             print(result.render(), file=out)
             if args.plot:
@@ -213,6 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
             "prefix-evaluation engine for degree sweeps: 'incremental' "
             "evaluates all degrees in one pass per user, 'naive' is the "
             "per-degree reference (identical results, slower)"
+        ),
+    )
+    p_run.add_argument(
+        "--backend",
+        default="python",
+        choices=("python", "numpy"),
+        help=(
+            "timeline kernel backend: 'python' is the exact reference "
+            "scans, 'numpy' batches the overlap/set-cover/activity "
+            "kernels (identical results, faster on large cohorts)"
         ),
     )
     p_run.add_argument("--output", help="write the report to a file")

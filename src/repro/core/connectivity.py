@@ -39,6 +39,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.graph.social_graph import UserId
 from repro.timeline.day import DAY_SECONDS, seconds_to_hours
 from repro.timeline.intervals import IntervalSet
+from repro.timeline.packed import PackedSchedules
 
 _EMPTY = IntervalSet.empty()
 
@@ -86,13 +87,31 @@ class OverlapCache:
     same matrix.  Values are exactly ``schedule.overlap(schedule)`` on the
     schedules supplied (users without one count as never online), so
     cached and uncached paths produce identical floats.
+
+    Passing a :class:`PackedSchedules` built from the *same* mapping
+    enables the vectorised row fill: :meth:`overlap_row` computes every
+    missing entry of one row in a single NumPy kernel call.  The kernel
+    is only engaged when the packed endpoints are integral
+    (``packed.exact``), where its sums are guaranteed identical to the
+    merge scan; otherwise the row fill silently degrades to the scalar
+    scan, so cache contents never depend on the backend.
     """
 
-    __slots__ = ("_schedules", "_cache")
+    __slots__ = ("_schedules", "_cache", "_packed")
 
-    def __init__(self, schedules: Mapping[UserId, IntervalSet]):
+    def __init__(
+        self,
+        schedules: Mapping[UserId, IntervalSet],
+        packed: Optional[PackedSchedules] = None,
+    ):
         self._schedules = schedules
         self._cache: Dict[Tuple[UserId, UserId], float] = {}
+        self._packed = packed if packed is not None and packed.exact else None
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the packed row-fill kernel is engaged."""
+        return self._packed is not None
 
     def schedule_of(self, user: UserId) -> IntervalSet:
         return self._schedules.get(user, _EMPTY)
@@ -109,6 +128,30 @@ class OverlapCache:
     def overlaps(self, a: UserId, b: UserId) -> bool:
         """Whether the two users are connected in time."""
         return self.overlap(a, b) > 0
+
+    def overlap_row(
+        self, a: UserId, others: Iterable[UserId]
+    ) -> List[float]:
+        """``overlap(a, other)`` for every other, in order.
+
+        With a packed backend the missing entries of the row are computed
+        by one vectorised kernel call; the values stored (and returned)
+        are identical to the scalar path either way.
+        """
+        others = list(others)
+        cache = self._cache
+        if self._packed is not None:
+            missing = [
+                o
+                for o in others
+                if ((a, o) if a <= o else (o, a)) not in cache
+            ]
+            if missing:
+                filled = self._packed.overlap_row(a, missing)
+                for o, value in zip(missing, filled):
+                    cache[(a, o) if a <= o else (o, a)] = float(value)
+            return [cache[(a, o) if a <= o else (o, a)] for o in others]
+        return [self.overlap(a, o) for o in others]
 
 
 class IncrementalAPSP:

@@ -48,6 +48,21 @@ from repro.parallel import (
     select_sequences_chunk,
 )
 from repro.seeding import derive_rng
+from repro.timeline.packed import (
+    NUMPY,
+    PYTHON,
+    PackedSchedules,
+    check_backend,
+)
+
+
+def _pack_for_backend(
+    schedules, backend: str
+) -> Optional[PackedSchedules]:
+    """The packed schedules for the numpy backend, ``None`` for python."""
+    if check_backend(backend) == NUMPY:
+        return PackedSchedules.from_schedules(schedules)
+    return None
 
 
 @dataclass(frozen=True)
@@ -194,6 +209,7 @@ def placement_sequences(
     max_degree: int,
     seed: int = 0,
     executor: Optional[ParallelExecutor] = None,
+    backend: str = PYTHON,
 ) -> Dict[UserId, Tuple[UserId, ...]]:
     """The full selection sequence (up to ``max_degree``) for each user.
 
@@ -210,6 +226,8 @@ def placement_sequences(
         mode=mode,
         max_degree=max_degree,
         seed=seed,
+        backend=backend,
+        packed=_pack_for_backend(schedules, backend),
     )
     sequences = executor.map_shared(
         select_sequences_chunk,
@@ -233,12 +251,14 @@ def evaluate_placements(
     *,
     mode: str = CONREP,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> AggregateMetrics:
     """Evaluate the degree-``k`` prefix of each user's selection sequence."""
+    packed = _pack_for_backend(schedules, backend)
     if check_engine(engine) == INCREMENTAL:
         per_user = [
             IncrementalGroupEvaluator(
-                dataset, schedules, user, mode=mode
+                dataset, schedules, user, mode=mode, packed=packed
             ).evaluate(seq, k)
             for user, seq in sequences.items()
         ]
@@ -251,6 +271,7 @@ def evaluate_placements(
                 seq[:k],
                 allowed_degree=k,
                 mode=mode,
+                packed=packed,
             )
             for user, seq in sequences.items()
         ]
@@ -269,6 +290,7 @@ def sweep_replication_degree(
     repeats: int = 1,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Metric means per policy per allowed replication degree.
 
@@ -281,11 +303,15 @@ def sweep_replication_degree(
     results bit-identical to the serial run.  ``engine`` selects the
     prefix-evaluation path: ``"incremental"`` (default — one forward pass
     per user covers every swept degree) or ``"naive"`` (the reference
-    per-degree oracle; float-identical, only slower).
+    per-degree oracle; float-identical, only slower).  ``backend``
+    selects the timeline kernels: ``"python"`` (default) or ``"numpy"``
+    (vectorised batch kernels over schedules packed once per repeat;
+    results bit-identical to python — see :mod:`repro.timeline.packed`).
     """
     if not users:
         raise ValueError("empty user cohort")
     check_engine(engine)
+    check_backend(backend)
     executor = executor or ParallelExecutor()
     users = list(users)
     degrees = list(degrees)
@@ -305,6 +331,8 @@ def sweep_replication_degree(
             max_degree=max_degree,
             seed=run_seed,
             engine=engine,
+            backend=backend,
+            packed=_pack_for_backend(schedules, backend),
         )
         per_user = executor.map_shared(
             evaluate_users_chunk,
@@ -337,6 +365,7 @@ def sweep_session_length(
     repeats: int = 1,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Fig. 8: fixed replication degree, Sporadic session length swept."""
     results: Dict[str, List[AggregateMetrics]] = {p.name: [] for p in policies}
@@ -353,6 +382,7 @@ def sweep_session_length(
             repeats=repeats,
             executor=executor,
             engine=engine,
+            backend=backend,
         )
         for name, series in point.items():
             results[name].append(series[0])
@@ -371,6 +401,7 @@ def sweep_user_degree(
     repeats: int = 1,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> Dict[str, List[Optional[AggregateMetrics]]]:
     """Fig. 9: cohorts of user degree 1..10, replication degree maximal.
 
@@ -398,6 +429,7 @@ def sweep_user_degree(
             repeats=repeats,
             executor=executor,
             engine=engine,
+            backend=backend,
         )
         for name, series in point.items():
             results[name].append(series[0])

@@ -28,6 +28,7 @@ from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
 from repro.onlinetime.base import Schedules
 from repro.timeline.intervals import IntervalSet
+from repro.timeline.packed import PackedSchedules
 
 #: Regime names.
 CONREP = "conrep"
@@ -48,6 +49,11 @@ class PlacementContext:
     #: the scans are shared with (and reused by) the incremental
     #: evaluation engine; selections are identical either way.
     overlap_cache: Optional[OverlapCache] = None
+    #: Optional packed schedules for the numpy backend.  When set, the
+    #: set-cover universes batch their per-round gains and the
+    #: connectivity filter prefills whole cache rows per kernel call;
+    #: selections are identical either way.
+    packed: Optional[PackedSchedules] = None
 
     def __post_init__(self) -> None:
         if self.mode not in (CONREP, UNCONREP):
@@ -81,6 +87,14 @@ class ConnectivityTracker:
         self._cache = ctx.overlap_cache
         self._members: List[UserId] = [ctx.user]
         self._group_schedule = ctx.schedule_of(ctx.user)
+        # With a vectorised cache, fill each member's whole row against
+        # the candidate set in one kernel call on admission; the lazy
+        # per-pair lookups below then always hit.  Cache values — and
+        # hence decisions — are identical either way.
+        self._prefill = self._cache is not None and self._cache.vectorized
+        self._candidates = ctx.candidates if self._prefill else ()
+        if self._prefill:
+            self._cache.overlap_row(ctx.user, self._candidates)
 
     @property
     def group_schedule(self) -> IntervalSet:
@@ -97,6 +111,8 @@ class ConnectivityTracker:
         self._group_schedule = self._group_schedule.union(
             self._ctx.schedule_of(candidate)
         )
+        if self._prefill:
+            self._cache.overlap_row(candidate, self._candidates)
 
     def filter_connected(self, candidates: Sequence[UserId]) -> List[UserId]:
         return [c for c in candidates if self.is_connected(c)]

@@ -15,25 +15,61 @@ Two universe flavours are supported:
 Both expose ``gain(candidate_schedule)`` and ``commit(candidate_schedule)``
 so a selection loop can interleave cover bookkeeping with its own
 constraints (ConRep's connectivity filter).
+
+Both also expose ``batch_gain(users)``: the gains of many candidates
+identified by *packed* user id in one vectorised kernel call, when a
+:class:`~repro.timeline.packed.PackedSchedules` was supplied and the
+exactness preconditions hold (see the oracle-equivalence contract in
+:mod:`repro.timeline.packed`); it returns ``None`` otherwise and callers
+fall back to the scalar ``gain`` loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.timeline.day import time_of_day
 from repro.timeline.intervals import IntervalSet
+from repro.timeline.packed import PackedSchedules, endpoints_integral
 
 
 class IntervalUniverse:
-    """Set-cover state over continuous daily time."""
+    """Set-cover state over continuous daily time.
 
-    def __init__(self, universe: IntervalSet, covered: IntervalSet = None):
+    The greedy gain decomposes as ``gain(s) = overlap(s, universe) -
+    overlap(s, covered)`` because the covered set is kept a subset of the
+    universe (intersected at construction, unioned with ``s ∩ universe``
+    on commit).  That identity is what lets :meth:`batch_gain` compute a
+    whole round of gains from two vectorised overlap kernels; it is exact
+    (and therefore oracle-identical) only when every endpoint involved is
+    integral, so the packed path is dropped otherwise.
+    """
+
+    def __init__(
+        self,
+        universe: IntervalSet,
+        covered: IntervalSet = None,
+        *,
+        packed: Optional[PackedSchedules] = None,
+    ):
         self._universe = universe
         self._covered = (
             covered.intersection(universe)
             if covered is not None
             else IntervalSet.empty()
+        )
+        # Initial covered is integral whenever universe and covered are;
+        # commits union in s ∩ universe, which preserves integrality for
+        # packed (exact) candidate schedules.
+        self._packed = (
+            packed
+            if packed is not None
+            and packed.exact
+            and endpoints_integral(universe)
+            and endpoints_integral(self._covered)
+            else None
         )
 
     @property
@@ -52,15 +88,40 @@ class IntervalUniverse:
         """Uncovered universe mass that ``schedule`` would add."""
         return schedule.intersection(self._universe).coverage_added(self._covered)
 
+    def batch_gain(self, users: Sequence) -> Optional[np.ndarray]:
+        """Gains of many packed candidates at once, or ``None`` when the
+        vectorised path is unavailable (no packed schedules, or
+        non-integral endpoints somewhere)."""
+        if self._packed is None:
+            return None
+        total = self._packed.overlap_against(self._universe, users)
+        if self._covered.is_empty:
+            return total
+        return total - self._packed.overlap_against(self._covered, users)
+
     def commit(self, schedule: IntervalSet) -> None:
         """Mark ``schedule``'s portion of the universe as covered."""
-        self._covered = self._covered.union(schedule.intersection(self._universe))
+        add = schedule.intersection(self._universe)
+        self._covered = self._covered.union(add)
+        if self._packed is not None and not endpoints_integral(add):
+            self._packed = None  # covered no longer integral: go scalar
 
 
 class PointUniverse:
-    """Set-cover state over discrete instants (projected onto the day)."""
+    """Set-cover state over discrete instants (projected onto the day).
 
-    def __init__(self, instants: Iterable[float], covered: IntervalSet = None):
+    Gains are integer counts, so the vectorised :meth:`batch_gain` (one
+    ``count_points_in_rows`` kernel over the sorted remaining points) is
+    exact for *any* schedule endpoints — no integrality gate needed.
+    """
+
+    def __init__(
+        self,
+        instants: Iterable[float],
+        covered: IntervalSet = None,
+        *,
+        packed: Optional[PackedSchedules] = None,
+    ):
         all_points = [time_of_day(t) for t in instants]
         self._total = len(all_points)
         if covered is not None:
@@ -69,6 +130,8 @@ class PointUniverse:
             ]
         else:
             self._points = all_points
+        self._packed = packed
+        self._sorted: Optional[np.ndarray] = None
 
     @property
     def covered_measure(self) -> float:
@@ -85,8 +148,20 @@ class PointUniverse:
     def gain(self, schedule: IntervalSet) -> float:
         return sum(1 for p in self._points if schedule.contains(p))
 
+    def batch_gain(self, users: Sequence) -> Optional[np.ndarray]:
+        """Point counts of many packed candidates at once, or ``None``
+        when no packed schedules were supplied."""
+        if self._packed is None:
+            return None
+        if self._sorted is None:
+            self._sorted = np.sort(
+                np.asarray(self._points, dtype=np.float64)
+            )
+        return self._packed.count_points_in_rows(users, self._sorted)
+
     def commit(self, schedule: IntervalSet) -> None:
         self._points = [p for p in self._points if not schedule.contains(p)]
+        self._sorted = None
 
 
 def greedy_cover(

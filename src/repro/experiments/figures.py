@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core import (
     CONREP,
     INCREMENTAL,
+    PYTHON,
     UNCONREP,
     evaluate_user,
     make_policy,
@@ -108,6 +109,7 @@ def _panel_sweep(
     models: Optional[Sequence[Tuple[str, OnlineTimeModel]]] = None,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> None:
     """Run the degree sweep for each panel model and add one table each."""
     users = _cohort(dataset, scale)
@@ -124,6 +126,7 @@ def _panel_sweep(
             repeats=scale.repeats,
             executor=executor,
             engine=engine,
+            backend=backend,
         )
         rows = []
         for i, k in enumerate(DEGREES):
@@ -166,6 +169,7 @@ def table1_dataset_stats(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     """§IV-A in-text dataset statistics, measured vs paper."""
     result = ExperimentResult(
@@ -222,6 +226,7 @@ def fig2_degree_distribution(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     """Fig. 2: user degree distribution of both datasets."""
     result = ExperimentResult(
@@ -259,6 +264,7 @@ def fig3_fb_conrep_availability(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig3",
@@ -280,6 +286,7 @@ def fig3_fb_conrep_availability(
         metric="availability",
         executor=executor,
         engine=engine,
+        backend=backend,
     )
     return result
 
@@ -289,6 +296,7 @@ def fig4_fb_unconrep_availability(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig4",
@@ -315,6 +323,7 @@ def fig4_fb_unconrep_availability(
         models=models,
         executor=executor,
         engine=engine,
+        backend=backend,
     )
     return result
 
@@ -324,6 +333,7 @@ def fig5_fb_conrep_aod_time(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig5",
@@ -345,6 +355,7 @@ def fig5_fb_conrep_aod_time(
         metric="aod_time",
         executor=executor,
         engine=engine,
+        backend=backend,
     )
     return result
 
@@ -354,6 +365,7 @@ def fig6_fb_conrep_aod_activity(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig6",
@@ -375,6 +387,7 @@ def fig6_fb_conrep_aod_activity(
         metric="aod_activity",
         executor=executor,
         engine=engine,
+        backend=backend,
     )
     return result
 
@@ -384,6 +397,7 @@ def fig7_fb_conrep_delay(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig7",
@@ -405,6 +419,7 @@ def fig7_fb_conrep_delay(
         metric="delay_hours_actual",
         executor=executor,
         engine=engine,
+        backend=backend,
     )
     return result
 
@@ -414,6 +429,7 @@ def fig8_session_length(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig8",
@@ -440,6 +456,7 @@ def fig8_session_length(
         repeats=scale.repeats,
         executor=executor,
         engine=engine,
+        backend=backend,
     )
     for metric, label in _METRIC_LABELS.items():
         rows = []
@@ -471,6 +488,7 @@ def fig9_user_degree(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig9",
@@ -499,6 +517,7 @@ def fig9_user_degree(
         repeats=scale.repeats,
         executor=executor,
         engine=engine,
+        backend=backend,
     )
 
     def row_of(metric):
@@ -553,6 +572,7 @@ def fig10_tw_conrep_availability(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig10",
@@ -571,6 +591,7 @@ def fig10_tw_conrep_availability(
         metric="availability",
         executor=executor,
         engine=engine,
+        backend=backend,
     )
     return result
 
@@ -580,6 +601,7 @@ def fig11_tw_conrep_aod_time(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig11",
@@ -602,6 +624,7 @@ def fig11_tw_conrep_aod_time(
         metric="aod_time",
         executor=executor,
         engine=engine,
+        backend=backend,
     )
     return result
 
@@ -616,6 +639,7 @@ def x1_des_validation(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     """Replay a placed cohort in the discrete-event simulator and compare
     the empirical measurements against the closed-form metrics."""
@@ -718,6 +742,7 @@ def x2_expected_unexpected(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     """§IV-B: the expected/unexpected split of profile activity.
 
@@ -757,6 +782,7 @@ def x2_expected_unexpected(
             max_degree=3,
             seed=scale.seed,
             executor=executor,
+            backend=backend,
         )
         per_user = [
             evaluate_user(dataset, schedules, u, sequences[u])
@@ -803,6 +829,7 @@ def x3_observed_vs_actual_delay(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     """§II-C3: the observed propagation delay vs the actual one.
 
@@ -836,6 +863,7 @@ def x3_observed_vs_actual_delay(
             seed=scale.seed,
             repeats=scale.repeats,
             executor=executor,
+            backend=backend,
         )["maxav"]
         rows = []
         for i, k in enumerate(DEGREES):
@@ -862,6 +890,7 @@ def x4_hosting_fairness(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     """§II-B1: fairness of the hosting load across the whole network.
 
@@ -904,6 +933,7 @@ def x4_hosting_fairness(
             max_degree=3,
             seed=scale.seed,
             executor=executor,
+            backend=backend,
         )
         report = fairness_report(sequences, all_hosts=everyone)
         rows.append(
@@ -939,6 +969,7 @@ def x5_owner_notification(
     *,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     """§II requirement: the owner should receive updates on his profile
     even when they arrive while he is offline.
@@ -977,6 +1008,7 @@ def x5_owner_notification(
             max_degree=3,
             seed=scale.seed,
             executor=executor,
+            backend=backend,
         )
         stats = DecentralizedOSN(
             dataset,
@@ -1052,6 +1084,7 @@ def run_experiment(
     jobs: int = 1,
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> ExperimentResult:
     """Run one experiment by id at the given scale.
 
@@ -1062,8 +1095,11 @@ def run_experiment(
     reference oracle — float-identical output, only slower).  Experiments
     that run no degree sweep (table1, fig2, and the x-series diagnostics,
     which deliberately exercise the oracle path) accept and ignore it.
-    Phase wall-clock/throughput timings land in ``result.timings`` and are
-    serialised into the experiment's JSON by ``run_batch``.
+    ``backend`` selects the timeline kernels (``"python"`` by default;
+    ``"numpy"`` batches the overlap/set-cover/activity scans — results
+    bit-identical either way).  Phase wall-clock/throughput timings land
+    in ``result.timings`` and are serialised into the experiment's JSON
+    by ``run_batch``.
     """
     try:
         fn = EXPERIMENTS[experiment_id]
@@ -1075,11 +1111,12 @@ def run_experiment(
     if executor is None:
         executor = ParallelExecutor(jobs=jobs)
     start = perf_counter()
-    result = fn(scale, executor=executor, engine=engine)
+    result = fn(scale, executor=executor, engine=engine, backend=backend)
     result.timings = {
         "total_seconds": round(perf_counter() - start, 6),
         "jobs": executor.effective_jobs,
         "engine": engine,
+        "backend": backend,
         "phases": executor.timings_dict(),
     }
     return result

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.core.incremental import INCREMENTAL
+from repro.timeline.packed import PYTHON
 from repro.experiments.config import BENCH, ExperimentScale
 from repro.experiments.figures import experiment_ids, run_experiment
 from repro.experiments.report import ExperimentResult
@@ -98,21 +99,26 @@ def run_batch(
     ids: Optional[Iterable[str]] = None,
     jobs: int = 1,
     engine: str = INCREMENTAL,
+    backend: str = PYTHON,
 ) -> List[Path]:
     """Run experiments and write ``<id>.txt`` + ``<id>.json`` per entry.
 
     ``jobs`` parallelises each experiment's per-user work over worker
     processes (results are bit-identical to ``jobs=1``); ``engine``
     selects the sweep evaluation path (``"incremental"`` default,
-    ``"naive"`` reference — same output either way).  Each experiment's
-    JSON carries its phase timings.  Returns the paths written.  The
-    directory is created if missing.
+    ``"naive"`` reference — same output either way); ``backend`` selects
+    the timeline kernels (``"python"`` default, ``"numpy"`` vectorised —
+    same output either way).  Each experiment's JSON carries its phase
+    timings.  Returns the paths written.  The directory is created if
+    missing.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     written: List[Path] = []
     for eid in ids if ids is not None else experiment_ids():
-        result = run_experiment(eid, scale, jobs=jobs, engine=engine)
+        result = run_experiment(
+            eid, scale, jobs=jobs, engine=engine, backend=backend
+        )
         txt_path = out / f"{eid}.txt"
         txt_path.write_text(result.render() + "\n", encoding="utf-8")
         json_path = out / f"{eid}.json"

@@ -35,6 +35,7 @@ from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
 from repro.onlinetime.base import Schedules
 from repro.seeding import derive_rng
+from repro.timeline.packed import PYTHON, PackedSchedules
 
 #: Per-user sweep output: policy name -> one UserMetrics per swept degree.
 UserCell = Dict[str, Tuple[UserMetrics, ...]]
@@ -53,6 +54,11 @@ class SweepPayload:
     seed: int
     #: Prefix-evaluation engine: ``"incremental"`` (default) or ``"naive"``.
     engine: str = INCREMENTAL
+    #: Timeline kernel backend: ``"python"`` (default) or ``"numpy"``.
+    backend: str = PYTHON
+    #: Packed counterpart of ``schedules`` for the numpy backend; ships to
+    #: the pool workers once, with the rest of the fork-shared payload.
+    packed: Optional[PackedSchedules] = None
 
 
 def _sequence_for(
@@ -74,6 +80,7 @@ def _sequence_for(
         mode=payload.mode,
         rng=derive_rng(payload.seed, policy.name, user),
         overlap_cache=overlap_cache,
+        packed=payload.packed,
     )
     return policy.select(ctx, payload.max_degree)
 
@@ -100,6 +107,7 @@ def evaluate_users_chunk(
                 payload.schedules,
                 user,
                 mode=payload.mode,
+                packed=payload.packed,
             )
             cache = evaluator.overlap_cache
         else:
@@ -119,6 +127,7 @@ def evaluate_users_chunk(
                         sequence[:k],
                         allowed_degree=k,
                         mode=payload.mode,
+                        packed=payload.packed,
                     )
                     for k in payload.degrees
                 )
@@ -136,6 +145,9 @@ class PlacementPayload:
     mode: str = CONREP
     max_degree: int = 0
     seed: int = 0
+    #: Timeline kernel backend: ``"python"`` (default) or ``"numpy"``.
+    backend: str = PYTHON
+    packed: Optional[PackedSchedules] = None
 
 
 def select_sequences_chunk(
@@ -150,6 +162,8 @@ def select_sequences_chunk(
         degrees=(),
         max_degree=payload.max_degree,
         seed=payload.seed,
+        backend=payload.backend,
+        packed=payload.packed,
     )
     return [
         _sequence_for(sweep_like, payload.policy, user) for user in users

@@ -19,15 +19,35 @@ from repro.timeline.day import (
 )
 from repro.timeline.intervals import IntervalSet
 from repro.timeline.minutegrid import MinuteGrid, availability_matrix
+from repro.timeline.packed import (
+    BACKENDS,
+    NUMPY,
+    PYTHON,
+    PackedSchedules,
+    batch_contains,
+    batch_wait_until,
+    check_backend,
+    creator_online_flags,
+    endpoints_integral,
+)
 
 __all__ = [
+    "BACKENDS",
     "DAY_HOURS",
     "DAY_MINUTES",
     "DAY_SECONDS",
     "HOUR_SECONDS",
     "MINUTE_SECONDS",
+    "NUMPY",
+    "PYTHON",
     "IntervalSet",
     "MinuteGrid",
+    "PackedSchedules",
+    "batch_contains",
+    "batch_wait_until",
+    "check_backend",
+    "creator_online_flags",
+    "endpoints_integral",
     "availability_matrix",
     "format_clock",
     "hours_to_seconds",

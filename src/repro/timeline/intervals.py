@@ -87,7 +87,7 @@ class IntervalSet:
     def __init__(self, pairs: Iterable[Pair] = (), *, wrap: bool = True):
         self._intervals = _normalise(pairs, wrap)
         self._measure = sum(end - start for start, end in self._intervals)
-        self._hash = hash(self._intervals)
+        self._hash = None
 
     # -- constructors ------------------------------------------------------
 
@@ -115,7 +115,7 @@ class IntervalSet:
         out = cls.__new__(cls)
         out._intervals = _normalise(pairs, wrap=False)
         out._measure = sum(end - start for start, end in out._intervals)
-        out._hash = hash(out._intervals)
+        out._hash = None
         return out
 
     # -- basic introspection ----------------------------------------------
@@ -149,7 +149,12 @@ class IntervalSet:
         return self._intervals == other._intervals
 
     def __hash__(self) -> int:
-        return self._hash
+        # Computed lazily on first use: intermediate sets from the hot
+        # algebra (intersection/complement/union_all) are rarely hashed.
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._intervals)
+        return h
 
     def __repr__(self) -> str:
         body = ", ".join(f"[{s:g}, {e:g})" for s, e in self._intervals)
@@ -223,7 +228,7 @@ class IntervalSet:
         out = IntervalSet.__new__(IntervalSet)
         out._intervals = tuple(pairs)
         out._measure = sum(end - start for start, end in pairs)
-        out._hash = hash(out._intervals)
+        out._hash = None
         return out
 
     __and__ = intersection
@@ -246,7 +251,7 @@ class IntervalSet:
         out = IntervalSet.__new__(IntervalSet)
         out._intervals = tuple(pairs)
         out._measure = DAY_SECONDS - self._measure
-        out._hash = hash(out._intervals)
+        out._hash = None
         return out
 
     __invert__ = complement
@@ -305,8 +310,35 @@ class IntervalSet:
         if remainder:
             lo = begin % DAY_SECONDS
             hi = lo + remainder
-            window = IntervalSet([(lo, hi)])
-            total += self.overlap(window)
+            # Direct clipped scan (no throwaway window IntervalSet).  The
+            # partial day may wrap midnight; the wrapped part lies before
+            # ``lo``, so accumulating it first reproduces the old merge
+            # scan's time order — and thereby its floats — exactly.
+            extra = 0.0
+            if hi > DAY_SECONDS:
+                extra = self._clipped_overlap(0.0, hi - DAY_SECONDS, extra)
+                extra = self._clipped_overlap(lo, DAY_SECONDS, extra)
+            else:
+                extra = self._clipped_overlap(lo, hi, extra)
+            total += extra
+        return total
+
+    def _clipped_overlap(self, lo: float, hi: float, total: float) -> float:
+        """Accumulate the overlap with the single span ``[lo, hi)`` onto
+        ``total``, contribution by contribution in time order (the same
+        float operations the merge scan in :meth:`overlap` performs)."""
+        intervals = self._intervals
+        idx = bisect_right(intervals, (lo, math.inf)) - 1
+        if idx < 0:
+            idx = 0
+        for i in range(idx, len(intervals)):
+            a_start, a_end = intervals[i]
+            if a_start >= hi:
+                break
+            start = max(a_start, lo)
+            clipped = min(a_end, hi)
+            if start < clipped:
+                total += clipped - start
         return total
 
     # -- transforms -----------------------------------------------------------

@@ -1,0 +1,341 @@
+"""Oracle-equivalence contract of the numpy timeline backend.
+
+The vectorised kernels promise *bit-identical* results to the scalar
+python scans — through the production wiring, not just kernel by kernel:
+a packed :class:`PackedSchedules` rides the :class:`PlacementContext`,
+the shared :class:`OverlapCache`, the set-cover universes, and the
+incremental evaluator exactly as ``backend="numpy"`` threads it.  These
+tests assert field-for-field :class:`UserMetrics` equality on randomized
+instances — integer-second schedules (where the duration-sum kernels
+engage) and deliberately non-representable 1/7-second schedules (where
+they must silently fall back to the scalar path) — plus edge cases and
+the worker/sweep integration surface.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CONREP,
+    NUMPY,
+    PYTHON,
+    IncrementalGroupEvaluator,
+    MaxAvPlacement,
+    OverlapCache,
+    PackedSchedules,
+    PlacementContext,
+    UNCONREP,
+    UserMetrics,
+    evaluate_user,
+    make_policy,
+    select_cohort,
+    sweep_replication_degree,
+)
+from repro.datasets import Activity, ActivityTrace, Dataset, synthetic_facebook
+from repro.graph import SocialGraph
+from repro.onlinetime import (
+    FixedLengthModel,
+    SporadicModel,
+    compute_schedules,
+)
+from repro.parallel.worker import SweepPayload, evaluate_users_chunk
+from repro.timeline import DAY_SECONDS, IntervalSet
+
+_NUM_FRIENDS = 8
+
+
+def _policies():
+    """Every placement policy, including the activity-objective MaxAv
+    variant (not registered under ``make_policy``)."""
+    return [
+        make_policy("maxav"),
+        MaxAvPlacement(objective="activity"),
+        make_policy("mostactive"),
+        make_policy("random"),
+        make_policy("hybrid"),
+    ]
+
+
+def _sevenths(draw, lo, hi):
+    return draw(st.integers(min_value=lo * 7, max_value=hi * 7)) / 7.0
+
+
+@st.composite
+def backend_instances(draw, integral=True):
+    """A star dataset + schedules; integer-second or 1/7-second grids."""
+    g = SocialGraph()
+    for f in range(1, _NUM_FRIENDS + 1):
+        g.add_edge(0, f)
+    acts = []
+    for _ in range(draw(st.integers(min_value=0, max_value=10))):
+        acts.append(
+            Activity(
+                timestamp=_sevenths(draw, 0, 3 * DAY_SECONDS),
+                creator=draw(st.integers(min_value=1, max_value=_NUM_FRIENDS)),
+                receiver=0,
+            )
+        )
+    dataset = Dataset("t", "facebook", g, ActivityTrace(acts))
+
+    schedules = {}
+    for u in range(_NUM_FRIENDS + 1):
+        pairs = []
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            if integral:
+                start = draw(st.integers(min_value=0, max_value=DAY_SECONDS - 2))
+                length = draw(st.integers(min_value=1, max_value=8 * 3600))
+            else:
+                start = _sevenths(draw, 0, DAY_SECONDS - 2)
+                length = _sevenths(draw, 1, 8 * 3600)
+            pairs.append((start, min(start + length, DAY_SECONDS)))
+        schedules[u] = IntervalSet(pairs, wrap=False)
+    return dataset, schedules
+
+
+def _assert_identical(got: UserMetrics, want: UserMetrics) -> None:
+    for f in dataclasses.fields(UserMetrics):
+        g, w = getattr(got, f.name), getattr(want, f.name)
+        assert g == w, f"{f.name}: numpy={g!r} python={w!r}"
+
+
+def _run_pipeline(dataset, schedules, policy, mode, seed, packed):
+    """Selection + per-prefix metrics through the production wiring of
+    one backend: ``packed is None`` is the python path, a
+    :class:`PackedSchedules` the numpy path."""
+    evaluator = IncrementalGroupEvaluator(
+        dataset, schedules, 0, mode=mode, packed=packed
+    )
+    ctx = PlacementContext(
+        dataset=dataset,
+        schedules=schedules,
+        user=0,
+        mode=mode,
+        rng=random.Random(seed),
+        overlap_cache=evaluator.overlap_cache,
+        packed=packed,
+    )
+    sequence = policy.select(ctx, _NUM_FRIENDS)
+    degrees = tuple(range(_NUM_FRIENDS + 3))
+    return sequence, evaluator.evaluate_prefixes(sequence, degrees)
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        instance=backend_instances(integral=True),
+        policy_index=st.integers(min_value=0, max_value=4),
+        mode=st.sampled_from([CONREP, UNCONREP]),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_integer_schedules_identical(
+        self, instance, policy_index, mode, seed
+    ):
+        """Integer endpoints: the batch kernels engage (``packed.exact``)
+        and must reproduce the scalar selection and every metric float."""
+        dataset, schedules = instance
+        packed = PackedSchedules.from_schedules(schedules)
+        assert packed.exact
+        policy = _policies()[policy_index]
+        py_seq, py_metrics = _run_pipeline(
+            dataset, schedules, policy, mode, seed, None
+        )
+        np_seq, np_metrics = _run_pipeline(
+            dataset, schedules, policy, mode, seed, packed
+        )
+        assert np_seq == py_seq
+        for got, want in zip(np_metrics, py_metrics):
+            _assert_identical(got, want)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        instance=backend_instances(integral=False),
+        policy_index=st.integers(min_value=0, max_value=4),
+        mode=st.sampled_from([CONREP, UNCONREP]),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_fractional_schedules_fall_back_identically(
+        self, instance, policy_index, mode, seed
+    ):
+        """1/7-second endpoints: duration sums are non-associative, so the
+        packing is not exact — the duration kernels must step aside while
+        the comparison-only kernels stay engaged, and the result is still
+        bit-identical."""
+        dataset, schedules = instance
+        packed = PackedSchedules.from_schedules(schedules)
+        policy = _policies()[policy_index]
+        py_seq, py_metrics = _run_pipeline(
+            dataset, schedules, policy, mode, seed, None
+        )
+        np_seq, np_metrics = _run_pipeline(
+            dataset, schedules, policy, mode, seed, packed
+        )
+        assert np_seq == py_seq
+        for got, want in zip(np_metrics, py_metrics):
+            _assert_identical(got, want)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        instance=backend_instances(integral=True),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_naive_oracle_matches_numpy_evaluate_user(self, instance, seed):
+        """The per-degree ``evaluate_user`` oracle itself, with and
+        without the packed activity-scan kernels."""
+        dataset, schedules = instance
+        packed = PackedSchedules.from_schedules(schedules)
+        ctx = PlacementContext(
+            dataset=dataset,
+            schedules=schedules,
+            user=0,
+            mode=CONREP,
+            rng=random.Random(seed),
+        )
+        sequence = make_policy("random").select(ctx, _NUM_FRIENDS)
+        for k in range(len(sequence) + 1):
+            want = evaluate_user(
+                dataset, schedules, 0, sequence[:k], allowed_degree=k
+            )
+            got = evaluate_user(
+                dataset,
+                schedules,
+                0,
+                sequence[:k],
+                allowed_degree=k,
+                packed=packed,
+            )
+            _assert_identical(got, want)
+
+
+class TestEdgeCases:
+    def _star(self, schedules, acts=()):
+        g = SocialGraph()
+        for f in range(1, len(schedules)):
+            g.add_edge(0, f)
+        ds = Dataset("t", "facebook", g, ActivityTrace(list(acts)))
+        return ds, dict(enumerate(schedules))
+
+    def _both(self, ds, schedules, policy, mode=CONREP, seed=3):
+        packed = PackedSchedules.from_schedules(schedules)
+        py = _run_pipeline(ds, schedules, policy, mode, seed, None)
+        np_ = _run_pipeline(ds, schedules, policy, mode, seed, packed)
+        assert np_[0] == py[0]
+        for got, want in zip(np_[1], py[1]):
+            _assert_identical(got, want)
+
+    def test_all_schedules_empty(self):
+        ds, schedules = self._star(
+            [IntervalSet.empty()] * 4,
+            acts=[Activity(timestamp=50.0, creator=1, receiver=0)],
+        )
+        for mode in (CONREP, UNCONREP):
+            self._both(ds, schedules, make_policy("maxav"), mode=mode)
+
+    def test_full_day_schedules(self):
+        ds, schedules = self._star(
+            [IntervalSet.full_day()] * 4,
+            acts=[Activity(timestamp=100.0, creator=2, receiver=0)],
+        )
+        self._both(ds, schedules, MaxAvPlacement(objective="activity"))
+
+    def test_midnight_wrapping_schedules(self):
+        wrap = IntervalSet([(23 * 3600, 3600)])  # splits at midnight
+        ds, schedules = self._star(
+            [wrap, IntervalSet([(0, 7200)]), wrap, IntervalSet([(3000, 9000)])]
+        )
+        for mode in (CONREP, UNCONREP):
+            self._both(ds, schedules, make_policy("hybrid"), mode=mode)
+
+    def test_zero_activities(self):
+        ds, schedules = self._star(
+            [IntervalSet([(0, 3600)]), IntervalSet([(1800, 7200)])]
+        )
+        self._both(ds, schedules, MaxAvPlacement(objective="activity"))
+        self._both(ds, schedules, make_policy("mostactive"))
+
+    def test_overlap_cache_rows_match_scalar(self):
+        """A cache with a packed backing must return the same floats as
+        the plain per-pair cache, row call or scalar call."""
+        schedules = {
+            0: IntervalSet([(0, 3600), (7200, 10800)]),
+            1: IntervalSet([(1800, 9000)]),
+            2: IntervalSet.empty(),
+            3: IntervalSet.full_day(),
+        }
+        packed = PackedSchedules.from_schedules(schedules)
+        plain = OverlapCache(schedules)
+        fast = OverlapCache(schedules, packed)
+        assert fast.vectorized and not plain.vectorized
+        others = [1, 2, 3, 404]
+        assert fast.overlap_row(0, others) == plain.overlap_row(0, others)
+        for o in others:
+            assert fast.overlap(0, o) == plain.overlap(0, o)
+
+
+class TestBackendIntegration:
+    """Backend selection through the worker kernel and sweep harness."""
+
+    def _payload(self, backend, model):
+        ds = synthetic_facebook(400, seed=11)
+        schedules = compute_schedules(ds, model, seed=11)
+        packed = (
+            PackedSchedules.from_schedules(schedules)
+            if backend == NUMPY
+            else None
+        )
+        return (
+            SweepPayload(
+                dataset=ds,
+                schedules=schedules,
+                policies=tuple(_policies()),
+                mode=CONREP,
+                degrees=tuple(range(5)),
+                max_degree=4,
+                seed=11,
+                backend=backend,
+                packed=packed,
+            ),
+            select_cohort(ds, 10, max_users=6),
+        )
+
+    @pytest.mark.parametrize(
+        "model", [FixedLengthModel(8), SporadicModel()], ids=["fixed", "sporadic"]
+    )
+    def test_worker_chunk_backends_identical(self, model):
+        py_payload, users = self._payload(PYTHON, model)
+        np_payload, _ = self._payload(NUMPY, model)
+        assert evaluate_users_chunk(
+            np_payload, users
+        ) == evaluate_users_chunk(py_payload, users)
+
+    def test_sweep_backends_identical(self):
+        ds = synthetic_facebook(400, seed=3)
+        results = {}
+        for backend in (PYTHON, NUMPY):
+            results[backend] = sweep_replication_degree(
+                ds,
+                FixedLengthModel(8),
+                [make_policy("maxav"), make_policy("hybrid")],
+                degrees=list(range(4)),
+                users=select_cohort(ds, 10, max_users=5),
+                seed=7,
+                repeats=2,
+                backend=backend,
+            )
+        assert results[PYTHON] == results[NUMPY]  # exact, all floats
+
+    def test_unknown_backend_rejected(self):
+        ds = synthetic_facebook(400, seed=3)
+        with pytest.raises(ValueError):
+            sweep_replication_degree(
+                ds,
+                FixedLengthModel(8),
+                [make_policy("maxav")],
+                degrees=[1],
+                users=select_cohort(ds, 10, max_users=2),
+                seed=7,
+                backend="cuda",
+            )

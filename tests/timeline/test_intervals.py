@@ -296,3 +296,81 @@ class TestTransforms:
         s = IntervalSet([(0, 1000), (80000, DAY_SECONDS)])
         clipped = s.clip(85000, 500)
         assert clipped.measure == (DAY_SECONDS - 85000) + 500
+
+
+def _measure_in_span_reference(sched, begin, end):
+    """The pre-optimisation implementation of ``measure_in_span``: clip the
+    partial day against a throwaway wrap-normalised window IntervalSet.
+    Kept verbatim as the regression oracle for the allocation-free scan."""
+    if end <= begin:
+        return 0.0
+    span = end - begin
+    full_days, remainder = divmod(span, DAY_SECONDS)
+    total = full_days * sched.measure
+    if remainder:
+        lo = begin % DAY_SECONDS
+        hi = lo + remainder
+        window = IntervalSet([(lo, hi)])
+        total += sched.overlap(window)
+    return total
+
+
+class TestMeasureInSpanRegression:
+    """The rewritten ``measure_in_span`` (no per-call IntervalSet) must be
+    float-for-float identical to the old window-based implementation."""
+
+    def test_randomised_spans_match_old_implementation(self):
+        rng = random.Random(1234)
+        for _ in range(300):
+            pairs = []
+            for _ in range(rng.randrange(4)):
+                start = rng.uniform(0, DAY_SECONDS)
+                length = rng.uniform(1, 12 * 3600)
+                pairs.append((start, (start + length) % DAY_SECONDS))
+            sched = IntervalSet(pairs)
+            begin = rng.uniform(0, 5 * DAY_SECONDS)
+            end = begin + rng.uniform(0, 3 * DAY_SECONDS)
+            assert sched.measure_in_span(begin, end) == (
+                _measure_in_span_reference(sched, begin, end)
+            )
+
+    def test_wrapping_partial_day_matches(self):
+        sched = IntervalSet([(100, 500), (23 * 3600, 2 * 3600)])
+        begin = 2 * DAY_SECONDS + 22 * 3600  # window wraps midnight
+        for span in (3 * 3600, 5 * 3600.5, DAY_SECONDS - 1):
+            assert sched.measure_in_span(begin, begin + span) == (
+                _measure_in_span_reference(sched, begin, begin + span)
+            )
+
+    def test_empty_and_full_day(self):
+        empty = IntervalSet.empty()
+        full = IntervalSet.full_day()
+        assert empty.measure_in_span(0, 10 * DAY_SECONDS) == 0.0
+        assert full.measure_in_span(123.5, 123.5 + DAY_SECONDS) == DAY_SECONDS
+        assert full.measure_in_span(0, 90) == 90
+
+
+class TestLazyHash:
+    def test_hash_computed_once_and_stable(self):
+        s = IntervalSet([(10, 20), (30, 40)])
+        assert s._hash is None  # not computed at construction
+        first = hash(s)
+        assert s._hash == first
+        assert hash(s) == first
+
+    def test_derived_sets_hashable(self):
+        a = IntervalSet([(0, 100), (200, 300)])
+        b = IntervalSet([(50, 250)])
+        for derived in (
+            a.intersection(b),
+            a.complement(),
+            IntervalSet.union_all([a, b]),
+        ):
+            assert derived._hash is None
+            table = {derived: "ok"}
+            assert table[IntervalSet(derived.intervals)] == "ok"
+
+    def test_equal_sets_share_hash(self):
+        a = IntervalSet([(5, 10)])
+        b = IntervalSet([(5, 10)])
+        assert a == b and hash(a) == hash(b)
