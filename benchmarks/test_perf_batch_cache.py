@@ -1,0 +1,111 @@
+"""Batch compute-plane benchmark: warm-cache speedup and identity.
+
+Two contracts on the fixed BENCH synthetic Facebook dataset, measured
+over a ``run_batch`` of the four sibling figures {fig3, fig5, fig6,
+fig7}.  All four are views over the *same* ConRep degree sweep (they
+plot different metric columns of one series), so with the
+content-addressed :class:`repro.cache.SweepCache` threaded through:
+
+1. Identity — always asserted: every ``<id>.json`` written by the warm
+   cached batch is field-for-field identical to the cache-disabled
+   batch (``timings`` excluded — wall-clock differs by design).
+2. Speedup — a warm batch (cache pre-populated by the cold one) must
+   cut wall-clock by >= 2x.  In practice the warm batch only slices
+   cached series, so the observed factor is orders of magnitude larger;
+   2x is the regression floor.
+
+The measured timings land in ``BENCH_batch_cache.json`` at the repo
+root (cold/warm/uncached seconds, cache counters, the speedup factor),
+which CI uploads as an artifact so the perf trajectory is tracked
+PR-over-PR.
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+from repro.cache import SweepCache
+from repro.experiments import BENCH, load_result, run_batch
+
+MIN_SPEEDUP = 2.0
+IDS = ["fig3", "fig5", "fig6", "fig7"]
+
+_JSON_PATH = Path(
+    os.environ.get(
+        "BENCH_BATCH_CACHE_JSON",
+        Path(__file__).resolve().parent.parent / "BENCH_batch_cache.json",
+    )
+)
+
+
+def _run(out_dir, cache=None, use_cache=True):
+    start = perf_counter()
+    run_batch(
+        out_dir, scale=BENCH, ids=IDS, cache=cache, use_cache=use_cache
+    )
+    return perf_counter() - start
+
+
+def _comparable(out_dir):
+    """Every experiment JSON with the wall-clock-bearing fields dropped."""
+    out = {}
+    for eid in IDS:
+        blob = load_result(Path(out_dir) / f"{eid}.json")
+        blob.pop("timings", None)
+        out[eid] = blob
+    return out
+
+
+def test_batch_cache_speedup_and_identity(benchmark, tmp_path):
+    cache = SweepCache()
+
+    uncached_seconds = _run(tmp_path / "uncached", use_cache=False)
+    cold_seconds = _run(tmp_path / "cold", cache=cache)
+    cold_stats = cache.stats.as_dict()
+    cold_mark = cache.stats.snapshot()
+
+    start = perf_counter()
+    benchmark.pedantic(
+        _run,
+        args=(tmp_path / "warm",),
+        kwargs={"cache": cache},
+        rounds=1,
+        iterations=1,
+    )
+    warm_seconds = perf_counter() - start
+    warm_stats = cache.stats.since(cold_mark)
+
+    assert warm_stats["misses"] == 0  # fully served from the cache
+    assert _comparable(tmp_path / "warm") == _comparable(tmp_path / "uncached")
+    assert _comparable(tmp_path / "cold") == _comparable(tmp_path / "uncached")
+
+    speedup = cold_seconds / warm_seconds
+    record = {
+        "bench": "batch_cache",
+        "ids": IDS,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "phases": {
+            "uncached_seconds": round(uncached_seconds, 6),
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+        },
+        "cache": {"cold": cold_stats, "warm": warm_stats},
+        "speedup": round(speedup, 3),
+        "min_speedup": MIN_SPEEDUP,
+        "identical_results": True,
+    }
+    _JSON_PATH.write_text(
+        json.dumps(record, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print()
+    print(
+        f"uncached {uncached_seconds:.2f}s, cold {cold_seconds:.2f}s, "
+        f"warm {warm_seconds:.2f}s, speedup {speedup:.2f}x -> {_JSON_PATH}"
+    )
+    assert speedup >= MIN_SPEEDUP

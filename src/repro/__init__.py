@@ -37,6 +37,7 @@ from repro.datasets import (
     synthetic_twitter,
 )
 from repro.experiments import run_experiment
+from repro.cache import SweepCache
 from repro.onlinetime import (
     FixedLengthModel,
     RandomLengthModel,
@@ -71,6 +72,7 @@ __all__ = [
     "ReplayConfig",
     "ReplicaGroup",
     "SporadicModel",
+    "SweepCache",
     "UNCONREP",
     "UserMetrics",
     "compute_schedules",

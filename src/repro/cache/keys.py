@@ -1,0 +1,101 @@
+"""Canonical content-addressed keys for the batch sweep cache.
+
+A cached degree sweep is addressed by everything that determines its
+floats — and *nothing else*.  The key covers the dataset (by content
+fingerprint, not name), the online-time model (via
+:meth:`~repro.onlinetime.base.OnlineTimeModel.cache_key`), the placement
+policy (via :meth:`~repro.core.placement.base.PlacementPolicy.cache_key`),
+the regime, the cohort, the swept degrees, and the seed/repeat protocol.
+Deliberately *excluded* are the execution knobs — ``jobs``, ``engine``
+and ``backend`` — because the parallel, incremental and vectorised paths
+are all bit-identical to the serial python reference (the determinism
+contracts of PRs 1-3), so one cache entry serves every combination.
+
+Keys are SHA-256 hex digests over the canonical part encoding of
+:func:`repro.seeding.canonical_key_bytes` — the same fixed, versioned
+hashing style as the seed derivation, never ``hash()``, so keys are
+identical across processes, platforms, and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Sequence
+
+from repro.core.placement.base import PlacementPolicy
+from repro.datasets.schema import Dataset
+from repro.graph.social_graph import UserId
+from repro.onlinetime.base import OnlineTimeModel
+from repro.seeding import canonical_key_bytes
+
+#: Bump when the key schema or the cached-value layout changes; stamped
+#: into every key and every on-disk entry, so stale formats miss cleanly.
+CACHE_FORMAT_VERSION = 1
+
+#: Attribute under which a dataset memoizes its content fingerprint.
+_FINGERPRINT_ATTR = "_repro_content_fingerprint"
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """A SHA-256 hex fingerprint of the dataset *content*.
+
+    Hashes the kind, the directedness, every edge, and every activity
+    (timestamp bits, creator, receiver) — not the display name, so two
+    differently-labelled but identical datasets share cache entries.
+    Memoized on the dataset object: computed once per dataset per
+    process, reused by every key derivation.
+    """
+    cached = getattr(dataset, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    h.update(
+        canonical_key_bytes(
+            "dataset", dataset.kind, dataset.graph.directed
+        )
+    )
+    for a, b in sorted(dataset.graph.edges()):
+        h.update(canonical_key_bytes("e", a, b))
+    for act in dataset.trace:
+        # Timestamps hash by their exact float bits: two traces are
+        # equal iff every instant is the identical double.
+        h.update(struct.pack("<d", act.timestamp))
+        h.update(canonical_key_bytes("a", act.creator, act.receiver))
+    fingerprint = h.hexdigest()
+    setattr(dataset, _FINGERPRINT_ATTR, fingerprint)
+    return fingerprint
+
+
+def sweep_cache_key(
+    dataset: Dataset,
+    model: OnlineTimeModel,
+    policy: PlacementPolicy,
+    *,
+    mode: str,
+    degrees: Sequence[int],
+    users: Sequence[UserId],
+    seed: int,
+    repeats: int,
+) -> str:
+    """The content address of one policy's degree-sweep series.
+
+    One key per *policy*, not per policy set: sweeps evaluate policies
+    independently (each policy's RNG derives from ``(seed, policy.name,
+    user)``), so a series computed inside any policy combination is
+    valid for every other one — fig3's MaxAv series serves the
+    MaxAv-only delay diagnostic unchanged.
+    """
+    parts = (
+        "sweep",
+        CACHE_FORMAT_VERSION,
+        dataset_fingerprint(dataset),
+        tuple(model.cache_key()),
+        tuple(policy.cache_key()),
+        mode,
+        int(seed),
+        int(repeats),
+        tuple(int(d) for d in degrees),
+        tuple(users),
+    )
+    return hashlib.sha256(canonical_key_bytes(*parts)).hexdigest()

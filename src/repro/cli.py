@@ -31,7 +31,9 @@ from repro.experiments import (
     experiment_ids,
     format_table,
     get_scale,
+    render_batch_summary,
     run_experiment,
+    summarize_batch,
 )
 from repro.graph import write_graph
 from repro.onlinetime import make_model, compute_schedules
@@ -63,32 +65,50 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.cache import SweepCache
+    from repro.parallel import ParallelExecutor
+
     scale = get_scale(args.scale)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
     out = open(args.output, "w") if args.output else sys.stdout
+    results = []
     try:
-        for eid in ids:
-            result = run_experiment(
-                eid,
-                scale,
-                jobs=args.jobs,
+        with ParallelExecutor(jobs=args.jobs) as executor:
+            for eid in ids:
+                result = run_experiment(
+                    eid,
+                    scale,
+                    executor=executor,
+                    engine=args.engine,
+                    backend=args.backend,
+                    cache=cache,
+                )
+                results.append(result)
+                print(result.render(), file=out)
+                if args.plot:
+                    from repro.analysis import chart_from_table
+
+                    for table in result.tables:
+                        try:
+                            chart = chart_from_table(
+                                table.headers, table.rows, title=table.caption
+                            )
+                        except (TypeError, ValueError):
+                            continue  # non-numeric table (e.g. dataset names)
+                        print(file=out)
+                        print(chart, file=out)
+                print(file=out)
+            summary = summarize_batch(
+                results,
+                scale=scale,
+                jobs=executor.effective_jobs,
                 engine=args.engine,
                 backend=args.backend,
+                cache=cache,
+                executor=executor,
             )
-            print(result.render(), file=out)
-            if args.plot:
-                from repro.analysis import chart_from_table
-
-                for table in result.tables:
-                    try:
-                        chart = chart_from_table(
-                            table.headers, table.rows, title=table.caption
-                        )
-                    except (TypeError, ValueError):
-                        continue  # non-numeric table (e.g. dataset names)
-                    print(file=out)
-                    print(chart, file=out)
-            print(file=out)
+        print(render_batch_summary(summary), file=out)
     finally:
         if args.output:
             out.close()
@@ -227,6 +247,22 @@ def build_parser() -> argparse.ArgumentParser:
             "timeline kernel backend: 'python' is the exact reference "
             "scans, 'numpy' batches the overlap/set-cover/activity "
             "kernels (identical results, faster on large cohorts)"
+        ),
+    )
+    p_run.add_argument(
+        "--cache-dir",
+        help=(
+            "directory for the persistent sweep-result cache; entries are "
+            "content-addressed, so reruns with identical inputs load "
+            "bit-identical series instead of recomputing"
+        ),
+    )
+    p_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "disable the in-memory sweep cache shared across the "
+            "experiments of this run (results are identical either way)"
         ),
     )
     p_run.add_argument("--output", help="write the report to a file")

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.incremental import (
     INCREMENTAL,
@@ -38,7 +38,11 @@ from repro.core.placement.base import (
 )
 from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
-from repro.onlinetime.base import OnlineTimeModel, compute_schedules
+from repro.onlinetime.base import (
+    OnlineTimeModel,
+    compute_schedules,
+    packed_schedules,
+)
 from repro.onlinetime.sporadic import SporadicModel
 from repro.parallel import (
     ParallelExecutor,
@@ -55,14 +59,30 @@ from repro.timeline.packed import (
     check_backend,
 )
 
+if TYPE_CHECKING:  # imported lazily: repro.cache imports this module
+    from repro.cache import SweepCache
+
 
 def _pack_for_backend(
-    schedules, backend: str
+    schedules,
+    backend: str,
+    *,
+    dataset: Optional[Dataset] = None,
+    model: Optional[OnlineTimeModel] = None,
+    seed: int = 0,
 ) -> Optional[PackedSchedules]:
-    """The packed schedules for the numpy backend, ``None`` for python."""
-    if check_backend(backend) == NUMPY:
-        return PackedSchedules.from_schedules(schedules)
-    return None
+    """The packed schedules for the numpy backend, ``None`` for python.
+
+    With ``dataset`` and ``model`` supplied the packing comes from the
+    per-``(model, seed)`` memo on the dataset (built once, reused by
+    every sweep of the batch); otherwise it is packed ad hoc from the
+    given mapping.  Either way the arrays hold the identical floats.
+    """
+    if check_backend(backend) != NUMPY:
+        return None
+    if dataset is not None and model is not None:
+        return packed_schedules(dataset, model, seed=seed)
+    return PackedSchedules.from_schedules(schedules)
 
 
 @dataclass(frozen=True)
@@ -210,13 +230,18 @@ def placement_sequences(
     seed: int = 0,
     executor: Optional[ParallelExecutor] = None,
     backend: str = PYTHON,
+    model: Optional[OnlineTimeModel] = None,
+    model_seed: int = 0,
 ) -> Dict[UserId, Tuple[UserId, ...]]:
     """The full selection sequence (up to ``max_degree``) for each user.
 
     Each user's RNG is derived process-independently from
     ``(seed, policy.name, user)`` — identical under every
     ``PYTHONHASHSEED`` and in every pool worker.  Pass an ``executor``
-    to fan the per-user selection out over processes.
+    to fan the per-user selection out over processes.  When ``schedules``
+    came from :func:`compute_schedules`, passing the same ``model`` and
+    ``model_seed`` lets the numpy backend reuse the memoised packing
+    instead of repacking per call.
     """
     executor = executor or ParallelExecutor()
     payload = PlacementPayload(
@@ -227,7 +252,9 @@ def placement_sequences(
         max_degree=max_degree,
         seed=seed,
         backend=backend,
-        packed=_pack_for_backend(schedules, backend),
+        packed=_pack_for_backend(
+            schedules, backend, dataset=dataset, model=model, seed=model_seed
+        ),
     )
     sequences = executor.map_shared(
         select_sequences_chunk,
@@ -291,6 +318,7 @@ def sweep_replication_degree(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Metric means per policy per allowed replication degree.
 
@@ -307,50 +335,78 @@ def sweep_replication_degree(
     selects the timeline kernels: ``"python"`` (default) or ``"numpy"``
     (vectorised batch kernels over schedules packed once per repeat;
     results bit-identical to python — see :mod:`repro.timeline.packed`).
+
+    ``cache`` (a :class:`repro.cache.SweepCache`) short-circuits the
+    whole sweep by content address.  Per-policy series are independent —
+    each user's RNG derives from ``(seed, policy.name, user)`` — so a
+    partial hit computes only the policies still missing and merges them
+    with the cached ones; the returned floats are identical either way.
+    Execution knobs (``executor``/``engine``/``backend``) are *not* part
+    of the address: every combination produces bit-identical results.
     """
     if not users:
         raise ValueError("empty user cohort")
     check_engine(engine)
     check_backend(backend)
-    executor = executor or ParallelExecutor()
     users = list(users)
     degrees = list(degrees)
     max_degree = max(degrees)
-    runs: Dict[str, List[List[AggregateMetrics]]] = {
-        p.name: [[] for _ in degrees] for p in policies
-    }
-    for r in range(repeats):
-        run_seed = seed + r
-        schedules = compute_schedules(dataset, model, seed=run_seed)
-        payload = SweepPayload(
-            dataset=dataset,
-            schedules=schedules,
-            policies=tuple(policies),
-            mode=mode,
-            degrees=tuple(degrees),
-            max_degree=max_degree,
-            seed=run_seed,
-            engine=engine,
-            backend=backend,
-            packed=_pack_for_backend(schedules, backend),
+    key_kwargs = dict(
+        mode=mode, degrees=degrees, users=users, seed=seed, repeats=repeats
+    )
+    results: Dict[str, List[AggregateMetrics]] = {}
+    compute_policies: List[PlacementPolicy] = list(policies)
+    if cache is not None:
+        results, compute_policies = cache.lookup(
+            dataset, model, policies, **key_kwargs
         )
-        per_user = executor.map_shared(
-            evaluate_users_chunk,
-            payload,
-            users,
-            phase=f"sweep[{model.name}]",
-        )
-        for policy in policies:
-            for i in range(len(degrees)):
-                runs[policy.name][i].append(
-                    AggregateMetrics.from_users(
-                        [cell[policy.name][i] for cell in per_user]
+    if compute_policies:
+        executor = executor or ParallelExecutor()
+        runs: Dict[str, List[List[AggregateMetrics]]] = {
+            p.name: [[] for _ in degrees] for p in compute_policies
+        }
+        for r in range(repeats):
+            run_seed = seed + r
+            schedules = compute_schedules(dataset, model, seed=run_seed)
+            payload = SweepPayload(
+                dataset=dataset,
+                schedules=schedules,
+                policies=tuple(compute_policies),
+                mode=mode,
+                degrees=tuple(degrees),
+                max_degree=max_degree,
+                seed=run_seed,
+                engine=engine,
+                backend=backend,
+                packed=_pack_for_backend(
+                    schedules,
+                    backend,
+                    dataset=dataset,
+                    model=model,
+                    seed=run_seed,
+                ),
+            )
+            per_user = executor.map_shared(
+                evaluate_users_chunk,
+                payload,
+                users,
+                phase=f"sweep[{model.name}]",
+            )
+            for policy in compute_policies:
+                for i in range(len(degrees)):
+                    runs[policy.name][i].append(
+                        AggregateMetrics.from_users(
+                            [cell[policy.name][i] for cell in per_user]
+                        )
                     )
-                )
-    return {
-        name: [AggregateMetrics.mean(cell) for cell in cells]
-        for name, cells in runs.items()
-    }
+        for policy in compute_policies:
+            series = [
+                AggregateMetrics.mean(cell) for cell in runs[policy.name]
+            ]
+            results[policy.name] = series
+            if cache is not None:
+                cache.store(dataset, model, policy, series, **key_kwargs)
+    return {p.name: list(results[p.name]) for p in policies}
 
 
 def sweep_session_length(
@@ -366,6 +422,7 @@ def sweep_session_length(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Fig. 8: fixed replication degree, Sporadic session length swept."""
     results: Dict[str, List[AggregateMetrics]] = {p.name: [] for p in policies}
@@ -383,6 +440,7 @@ def sweep_session_length(
             executor=executor,
             engine=engine,
             backend=backend,
+            cache=cache,
         )
         for name, series in point.items():
             results[name].append(series[0])
@@ -402,6 +460,7 @@ def sweep_user_degree(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> Dict[str, List[Optional[AggregateMetrics]]]:
     """Fig. 9: cohorts of user degree 1..10, replication degree maximal.
 
@@ -430,6 +489,7 @@ def sweep_user_degree(
             executor=executor,
             engine=engine,
             backend=backend,
+            cache=cache,
         )
         for name, series in point.items():
             results[name].append(series[0])

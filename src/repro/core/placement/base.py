@@ -138,3 +138,15 @@ class PlacementPolicy(ABC):
     def _check_k(self, k: int) -> None:
         if k < 0:
             raise ValueError("replication degree must be >= 0")
+
+    def cache_key(self) -> Tuple[object, ...]:
+        """Value identity for the content-addressed sweep cache.
+
+        Two policy instances with equal cache keys must make identical
+        selections for every context.  The default captures the class
+        and the registry name, which suffices for parameter-free
+        policies (and for MaxAv, whose name encodes its objective);
+        policies with extra state — e.g. a history window — override
+        and append it.
+        """
+        return (type(self).__qualname__, self.name)

@@ -40,6 +40,10 @@ class HybridPlacement(PlacementPolicy):
     def __init__(self, window: Tuple[float, float] = None):
         self._ranker = MostActivePlacement(window=window)
 
+    def cache_key(self) -> Tuple[object, ...]:
+        # Delegate to the ranker's key: the window rides along with it.
+        return super().cache_key() + (self._ranker.cache_key(),)
+
     def select(self, ctx: PlacementContext, k: int) -> Tuple[UserId, ...]:
         self._check_k(k)
         if k == 0:

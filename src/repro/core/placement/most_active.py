@@ -40,6 +40,10 @@ class MostActivePlacement(PlacementPolicy):
         #: ranking — the paper's "pre-defined time frame in the past".
         self.window = window
 
+    def cache_key(self) -> Tuple[object, ...]:
+        # The window changes the ranking, so it must change the key.
+        return super().cache_key() + (self.window,)
+
     def ranking(self, ctx: PlacementContext) -> List[UserId]:
         """All candidates, best first: by interaction count descending
         (ties by id), then zero-activity candidates shuffled."""

@@ -20,8 +20,10 @@ from repro.experiments.runner import (
     dejsonify,
     jsonify,
     load_result,
+    render_batch_summary,
     result_to_dict,
     run_batch,
+    summarize_batch,
 )
 from repro.experiments.report import (
     ExperimentResult,
@@ -45,9 +47,11 @@ __all__ = [
     "format_table",
     "jsonify",
     "load_result",
+    "render_batch_summary",
     "result_to_dict",
     "run_batch",
     "get_scale",
     "run_experiment",
+    "summarize_batch",
     "twitter_dataset",
 ]

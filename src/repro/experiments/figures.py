@@ -11,7 +11,15 @@ from __future__ import annotations
 
 import math
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core import (
     CONREP,
@@ -50,6 +58,9 @@ from repro.onlinetime import (
 )
 from repro.parallel import ParallelExecutor
 from repro.simulator import DecentralizedOSN, ReplayConfig
+
+if TYPE_CHECKING:  # imported lazily: repro.cache imports repro.core
+    from repro.cache import SweepCache
 
 #: Policy display order used throughout the paper's figures.
 POLICY_ORDER: Tuple[str, ...] = ("maxav", "mostactive", "random")
@@ -110,8 +121,15 @@ def _panel_sweep(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> None:
-    """Run the degree sweep for each panel model and add one table each."""
+    """Run the degree sweep for each panel model and add one table each.
+
+    With a ``cache``, sibling figures over the same (dataset, mode)
+    share their panel sweeps by content address — fig3/5/6/7 (and
+    fig10/11 on Twitter) compute each model's sweep once per batch and
+    the rest slice their metric columns from the cached series.
+    """
     users = _cohort(dataset, scale)
     label = _METRIC_LABELS[metric]
     for panel_name, model in models or _panel_models():
@@ -127,6 +145,7 @@ def _panel_sweep(
             executor=executor,
             engine=engine,
             backend=backend,
+            cache=cache,
         )
         rows = []
         for i, k in enumerate(DEGREES):
@@ -170,6 +189,7 @@ def table1_dataset_stats(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     """§IV-A in-text dataset statistics, measured vs paper."""
     result = ExperimentResult(
@@ -227,6 +247,7 @@ def fig2_degree_distribution(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     """Fig. 2: user degree distribution of both datasets."""
     result = ExperimentResult(
@@ -265,6 +286,7 @@ def fig3_fb_conrep_availability(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig3",
@@ -287,6 +309,7 @@ def fig3_fb_conrep_availability(
         executor=executor,
         engine=engine,
         backend=backend,
+        cache=cache,
     )
     return result
 
@@ -297,6 +320,7 @@ def fig4_fb_unconrep_availability(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig4",
@@ -324,6 +348,7 @@ def fig4_fb_unconrep_availability(
         executor=executor,
         engine=engine,
         backend=backend,
+        cache=cache,
     )
     return result
 
@@ -334,6 +359,7 @@ def fig5_fb_conrep_aod_time(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig5",
@@ -356,6 +382,7 @@ def fig5_fb_conrep_aod_time(
         executor=executor,
         engine=engine,
         backend=backend,
+        cache=cache,
     )
     return result
 
@@ -366,6 +393,7 @@ def fig6_fb_conrep_aod_activity(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig6",
@@ -388,6 +416,7 @@ def fig6_fb_conrep_aod_activity(
         executor=executor,
         engine=engine,
         backend=backend,
+        cache=cache,
     )
     return result
 
@@ -398,6 +427,7 @@ def fig7_fb_conrep_delay(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig7",
@@ -420,6 +450,7 @@ def fig7_fb_conrep_delay(
         executor=executor,
         engine=engine,
         backend=backend,
+        cache=cache,
     )
     return result
 
@@ -430,6 +461,7 @@ def fig8_session_length(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig8",
@@ -457,6 +489,7 @@ def fig8_session_length(
         executor=executor,
         engine=engine,
         backend=backend,
+        cache=cache,
     )
     for metric, label in _METRIC_LABELS.items():
         rows = []
@@ -489,6 +522,7 @@ def fig9_user_degree(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig9",
@@ -518,6 +552,7 @@ def fig9_user_degree(
         executor=executor,
         engine=engine,
         backend=backend,
+        cache=cache,
     )
 
     def row_of(metric):
@@ -573,6 +608,7 @@ def fig10_tw_conrep_availability(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig10",
@@ -592,6 +628,7 @@ def fig10_tw_conrep_availability(
         executor=executor,
         engine=engine,
         backend=backend,
+        cache=cache,
     )
     return result
 
@@ -602,6 +639,7 @@ def fig11_tw_conrep_aod_time(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig11",
@@ -625,6 +663,7 @@ def fig11_tw_conrep_aod_time(
         executor=executor,
         engine=engine,
         backend=backend,
+        cache=cache,
     )
     return result
 
@@ -640,6 +679,7 @@ def x1_des_validation(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     """Replay a placed cohort in the discrete-event simulator and compare
     the empirical measurements against the closed-form metrics."""
@@ -743,6 +783,7 @@ def x2_expected_unexpected(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     """§IV-B: the expected/unexpected split of profile activity.
 
@@ -830,6 +871,7 @@ def x3_observed_vs_actual_delay(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     """§II-C3: the observed propagation delay vs the actual one.
 
@@ -864,6 +906,7 @@ def x3_observed_vs_actual_delay(
             repeats=scale.repeats,
             executor=executor,
             backend=backend,
+            cache=cache,
         )["maxav"]
         rows = []
         for i, k in enumerate(DEGREES):
@@ -891,6 +934,7 @@ def x4_hosting_fairness(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     """§II-B1: fairness of the hosting load across the whole network.
 
@@ -970,6 +1014,7 @@ def x5_owner_notification(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     """§II requirement: the owner should receive updates on his profile
     even when they arrive while he is offline.
@@ -1085,6 +1130,7 @@ def run_experiment(
     executor: Optional[ParallelExecutor] = None,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
 ) -> ExperimentResult:
     """Run one experiment by id at the given scale.
 
@@ -1097,9 +1143,14 @@ def run_experiment(
     which deliberately exercise the oracle path) accept and ignore it.
     ``backend`` selects the timeline kernels (``"python"`` by default;
     ``"numpy"`` batches the overlap/set-cover/activity scans — results
-    bit-identical either way).  Phase wall-clock/throughput timings land
-    in ``result.timings`` and are serialised into the experiment's JSON
-    by ``run_batch``.
+    bit-identical either way).  ``cache`` (a
+    :class:`repro.cache.SweepCache`) lets experiments share their degree
+    sweeps by content address; cached results are bit-identical to
+    recomputed ones.  Phase wall-clock/throughput timings — plus cache
+    hit/miss and pool start/reuse counters when a shared ``cache`` /
+    ``executor`` is threaded through — land in ``result.timings`` as
+    *this experiment's* deltas and are serialised into the experiment's
+    JSON by ``run_batch``.
     """
     try:
         fn = EXPERIMENTS[experiment_id]
@@ -1108,15 +1159,32 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; choose from "
             f"{experiment_ids()}"
         ) from None
-    if executor is None:
+    owns_executor = executor is None
+    if owns_executor:
         executor = ParallelExecutor(jobs=jobs)
+    timing_mark = executor.snapshot_timings()
+    pool_mark = executor.pool_stats.snapshot()
+    cache_mark = cache.stats.snapshot() if cache is not None else None
     start = perf_counter()
-    result = fn(scale, executor=executor, engine=engine, backend=backend)
+    try:
+        result = fn(
+            scale,
+            executor=executor,
+            engine=engine,
+            backend=backend,
+            cache=cache,
+        )
+    finally:
+        if owns_executor:
+            executor.close()
     result.timings = {
         "total_seconds": round(perf_counter() - start, 6),
         "jobs": executor.effective_jobs,
         "engine": engine,
         "backend": backend,
-        "phases": executor.timings_dict(),
+        "phases": executor.timings_since(timing_mark),
+        "pool": executor.pool_stats.since(pool_mark),
     }
+    if cache is not None and cache_mark is not None:
+        result.timings["cache"] = cache.stats.since(cache_mark)
     return result

@@ -110,4 +110,15 @@ class ExperimentResult:
                 f"{name}: {t['seconds']:.2f}s, {t['items']} users, "
                 f"{t['items_per_second']:.1f} users/s"
             )
+        cache = self.timings.get("cache")
+        if cache is not None:
+            bits.append(
+                f"cache: {cache['hits']} hits, {cache['misses']} misses"
+                + (f", {cache['stale']} stale" if cache.get("stale") else "")
+            )
+        pool = self.timings.get("pool")
+        if pool and (pool.get("starts") or pool.get("reuses")):
+            bits.append(
+                f"pool: {pool['starts']} starts, {pool['reuses']} reuses"
+            )
         return "[timing] " + "; ".join(bits)

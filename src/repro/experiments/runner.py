@@ -5,6 +5,16 @@ experiment, both the human-readable report (``<id>.txt``) and a
 JSON-serialised result (``<id>.json``) whose ``data`` section carries the
 raw series — the machine-readable counterpart the EXPERIMENTS.md numbers
 were taken from.
+
+The batch is one *compute plane*: a single content-addressed
+:class:`~repro.cache.SweepCache` and a single persistent
+:class:`~repro.parallel.ParallelExecutor` are threaded through every
+experiment, so figures that are views over the same degree sweep
+(fig3/5/6/7 on Facebook, fig10/11 on Twitter) compute it once and the
+worker pool survives across experiments while its shared payload is
+unchanged.  All output files are written atomically (temp file +
+``os.replace``), and a ``batch_summary.json`` rollup of per-experiment
+phase timings plus cache and pool counters is written alongside.
 """
 
 from __future__ import annotations
@@ -16,7 +26,9 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.cache import SweepCache
 from repro.core.incremental import INCREMENTAL
+from repro.parallel import ParallelExecutor
 from repro.timeline.packed import PYTHON
 from repro.experiments.config import BENCH, ExperimentScale
 from repro.experiments.figures import experiment_ids, run_experiment
@@ -92,6 +104,103 @@ def load_result(path: Union[str, os.PathLike]) -> Dict[str, Any]:
     return dejsonify(blob)
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` atomically: readers see the old file or the new one,
+    never a partially written result."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def summarize_batch(
+    results: List[ExperimentResult],
+    *,
+    scale: ExperimentScale,
+    jobs: int,
+    engine: str,
+    backend: str,
+    cache: Optional[SweepCache] = None,
+    executor: Optional[ParallelExecutor] = None,
+) -> Dict[str, Any]:
+    """The batch observability rollup written to ``batch_summary.json``.
+
+    Per-experiment phase timings (each experiment's own deltas, as filled
+    in by ``run_experiment``), phase totals aggregated across the batch,
+    and the batch-wide cache hit/miss and pool start/reuse counters.
+    """
+    phase_totals: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        for name, t in result.timings.get("phases", {}).items():
+            total = phase_totals.setdefault(
+                name, {"seconds": 0.0, "items": 0, "calls": 0}
+            )
+            total["seconds"] += t["seconds"]
+            total["items"] += t["items"]
+            total["calls"] += t["calls"]
+    for total in phase_totals.values():
+        total["seconds"] = round(total["seconds"], 6)
+        total["items_per_second"] = round(
+            total["items"] / total["seconds"] if total["seconds"] > 0 else 0.0,
+            3,
+        )
+    summary: Dict[str, Any] = {
+        "scale": scale.name,
+        "jobs": jobs,
+        "engine": engine,
+        "backend": backend,
+        "num_experiments": len(results),
+        "total_seconds": round(
+            sum(r.timings.get("total_seconds", 0.0) for r in results), 6
+        ),
+        "experiments": {
+            r.experiment_id: r.timings for r in results
+        },
+        "phase_totals": phase_totals,
+        "cache": None,
+        "pool": None,
+    }
+    if cache is not None:
+        summary["cache"] = dict(
+            cache.stats.as_dict(),
+            entries=len(cache),
+            cache_dir=str(cache.cache_dir) if cache.cache_dir else None,
+        )
+    if executor is not None:
+        summary["pool"] = executor.pool_stats.as_dict()
+    return summary
+
+
+def render_batch_summary(summary: Dict[str, Any]) -> str:
+    """The terminal foot-lines for a batch summary."""
+    lines = [
+        f"[batch] {summary['num_experiments']} experiments in "
+        f"{summary['total_seconds']:.2f}s (jobs={summary['jobs']}, "
+        f"engine={summary['engine']}, backend={summary['backend']})"
+    ]
+    cache = summary.get("cache")
+    if cache is not None:
+        where = (
+            f", disk at {cache['cache_dir']}" if cache.get("cache_dir") else ""
+        )
+        lines.append(
+            f"[batch] cache: {cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['stale']} stale, {cache['stores']} stores "
+            f"({cache['entries']} entries{where})"
+        )
+    pool = summary.get("pool")
+    if pool is not None and (pool.get("starts") or pool.get("reuses")):
+        lines.append(
+            f"[batch] pool: {pool['starts']} starts, {pool['reuses']} reuses"
+        )
+    per_exp = ", ".join(
+        f"{eid}: {t.get('total_seconds', 0.0):.2f}s"
+        for eid, t in summary.get("experiments", {}).items()
+    )
+    if per_exp:
+        lines.append(f"[batch] {per_exp}")
+    return "\n".join(lines)
+
+
 def run_batch(
     out_dir: Union[str, os.PathLike],
     *,
@@ -100,6 +209,10 @@ def run_batch(
     jobs: int = 1,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    cache: Optional[SweepCache] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    use_cache: bool = True,
+    executor: Optional[ParallelExecutor] = None,
 ) -> List[Path]:
     """Run experiments and write ``<id>.txt`` + ``<id>.json`` per entry.
 
@@ -108,23 +221,65 @@ def run_batch(
     selects the sweep evaluation path (``"incremental"`` default,
     ``"naive"`` reference — same output either way); ``backend`` selects
     the timeline kernels (``"python"`` default, ``"numpy"`` vectorised —
-    same output either way).  Each experiment's JSON carries its phase
-    timings.  Returns the paths written.  The directory is created if
-    missing.
+    same output either way).
+
+    One :class:`~repro.cache.SweepCache` spans the whole batch (pass
+    ``cache`` to share one across batches, ``cache_dir`` for the
+    persistent on-disk layer, or ``use_cache=False`` to disable caching
+    entirely — the results are bit-identical in every case), and one
+    persistent :class:`~repro.parallel.ParallelExecutor` is threaded
+    through all experiments so the worker pool survives between them
+    (pass ``executor`` to supply your own; it is left open for you to
+    close).  Each experiment's JSON carries its own phase/cache/pool
+    deltas, and a ``batch_summary.json`` rollup is written last.  All
+    writes are atomic.  Returns the paths written.  The directory is
+    created if missing.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    if cache is None and use_cache:
+        cache = SweepCache(cache_dir)
+    owns_executor = executor is None
+    if owns_executor:
+        executor = ParallelExecutor(jobs=jobs)
     written: List[Path] = []
-    for eid in ids if ids is not None else experiment_ids():
-        result = run_experiment(
-            eid, scale, jobs=jobs, engine=engine, backend=backend
-        )
-        txt_path = out / f"{eid}.txt"
-        txt_path.write_text(result.render() + "\n", encoding="utf-8")
-        json_path = out / f"{eid}.json"
-        json_path.write_text(
-            json.dumps(result_to_dict(result), indent=1, sort_keys=True),
-            encoding="utf-8",
-        )
-        written.extend([txt_path, json_path])
+    results: List[ExperimentResult] = []
+    try:
+        for eid in ids if ids is not None else experiment_ids():
+            result = run_experiment(
+                eid,
+                scale,
+                jobs=jobs,
+                executor=executor,
+                engine=engine,
+                backend=backend,
+                cache=cache,
+            )
+            results.append(result)
+            txt_path = out / f"{eid}.txt"
+            _atomic_write_text(txt_path, result.render() + "\n")
+            json_path = out / f"{eid}.json"
+            _atomic_write_text(
+                json_path,
+                json.dumps(result_to_dict(result), indent=1, sort_keys=True),
+            )
+            written.extend([txt_path, json_path])
+    finally:
+        if owns_executor:
+            executor.close()
+    summary = summarize_batch(
+        results,
+        scale=scale,
+        jobs=jobs,
+        engine=engine,
+        backend=backend,
+        cache=cache,
+        executor=executor,
+    )
+    summary_path = out / "batch_summary.json"
+    _atomic_write_text(
+        summary_path,
+        json.dumps(jsonify(summary), indent=1, sort_keys=True) + "\n",
+    )
+    written.append(summary_path)
     return written

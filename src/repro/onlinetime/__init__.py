@@ -17,6 +17,7 @@ from repro.onlinetime.base import (
     Schedules,
     clear_schedule_cache,
     compute_schedules,
+    packed_schedules,
     user_rng,
 )
 from repro.onlinetime.explicit import (
@@ -74,6 +75,7 @@ __all__ = [
     "load_session_log",
     "make_model",
     "model_names",
+    "packed_schedules",
     "sessions_to_schedule",
     "user_rng",
 ]

@@ -26,11 +26,15 @@ from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
 from repro.seeding import derive_rng
 from repro.timeline.intervals import IntervalSet
+from repro.timeline.packed import PackedSchedules
 
 Schedules = Dict[UserId, IntervalSet]
 
 #: Attribute under which a dataset carries its schedule memo.
 _CACHE_ATTR = "_repro_schedule_cache"
+
+#: Attribute under which a dataset carries its packed-schedule memo.
+_PACKED_CACHE_ATTR = "_repro_packed_cache"
 
 #: Memo entries kept per dataset (FIFO eviction beyond this).
 _CACHE_MAX_ENTRIES = 32
@@ -99,8 +103,39 @@ def compute_schedules(
     return schedules
 
 
+def packed_schedules(
+    dataset: Dataset, model: OnlineTimeModel, *, seed: int = 0
+) -> PackedSchedules:
+    """The CSR-packed counterpart of ``compute_schedules``, memoised.
+
+    Packs the memoised schedules of ``(model.cache_key(), seed)`` into a
+    :class:`~repro.timeline.packed.PackedSchedules` exactly once per
+    dataset — the numpy backend used to rebuild the packing on every
+    sweep call, which dominated warm-path cost on multi-figure batches.
+    The memo lives next to the schedule memo (same key, same FIFO
+    bound) and :func:`clear_schedule_cache` drops both coordinately.
+    """
+    cache = getattr(dataset, _PACKED_CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(dataset, _PACKED_CACHE_ATTR, cache)
+    key = (model.cache_key(), seed)
+    packed = cache.get(key)
+    if packed is None:
+        packed = PackedSchedules.from_schedules(
+            compute_schedules(dataset, model, seed=seed)
+        )
+        if len(cache) >= _CACHE_MAX_ENTRIES:
+            cache.pop(next(iter(cache)))  # FIFO: evict the oldest entry
+        cache[key] = packed
+    return packed
+
+
 def clear_schedule_cache(dataset: Dataset) -> None:
-    """Drop the dataset's schedule memo (frees memory after large sweeps)."""
-    cache = getattr(dataset, _CACHE_ATTR, None)
-    if cache is not None:
-        cache.clear()
+    """Drop the dataset's schedule *and* packed-schedule memos together
+    (frees memory after large sweeps; the two stay coordinated — no
+    packed entry can outlive the schedules it was built from)."""
+    for attr in (_CACHE_ATTR, _PACKED_CACHE_ATTR):
+        cache = getattr(dataset, attr, None)
+        if cache is not None:
+            cache.clear()

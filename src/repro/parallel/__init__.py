@@ -10,7 +10,9 @@ for every ``jobs`` value.
 from repro.parallel.executor import (
     ParallelExecutor,
     PhaseTiming,
+    PoolStats,
     fork_available,
+    payload_fingerprint,
     resolve_jobs,
 )
 from repro.parallel.worker import (
@@ -24,9 +26,11 @@ __all__ = [
     "ParallelExecutor",
     "PhaseTiming",
     "PlacementPayload",
+    "PoolStats",
     "SweepPayload",
     "evaluate_users_chunk",
     "fork_available",
+    "payload_fingerprint",
     "resolve_jobs",
     "select_sequences_chunk",
 ]

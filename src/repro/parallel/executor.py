@@ -7,6 +7,11 @@ runs that shape over a process pool:
 
 * the shared context (*payload*) ships to each worker **once**, at pool
   initialisation, never per task;
+* the forked pool is **persistent**: it stays alive across
+  :meth:`~ParallelExecutor.map_shared` calls and is re-initialised only
+  when the payload fingerprint changes, so a batch that maps many phases
+  over the same shared context pays the fork cost once (pool start /
+  reuse counts are tracked in :attr:`ParallelExecutor.pool_stats`);
 * items are split into contiguous chunks and results return in item
   order, so serial and parallel runs aggregate identically;
 * ``jobs=1`` (the default) runs everything inline in the calling process
@@ -14,12 +19,22 @@ runs that shape over a process pool:
   ``fork`` start method fall back to the same serial path;
 * every mapped phase is timed (wall-clock seconds, items processed,
   items/s) and accumulated in :attr:`ParallelExecutor.timings` for the
-  experiment reports.
+  experiment reports; long-lived executors shared across experiments
+  take per-experiment deltas via :meth:`snapshot_timings` /
+  :meth:`timings_since`.
+
+Lifecycle: an executor is a context manager — ``with
+ParallelExecutor(jobs=8) as ex: ...`` shuts the persistent pool down on
+exit; :meth:`close` does the same explicitly, and an executor left to the
+garbage collector closes itself defensively.
 
 Determinism contract: given a deterministic ``worker`` function, results
 are bit-identical for every ``jobs`` value — the engine only changes
 *where* chunks run, never what is computed or in which order results are
-consumed.
+consumed.  Pool reuse preserves this: a pool is only reused while the
+worker function and the payload fingerprint are unchanged, and equal
+fingerprints imply an equivalent payload by construction (see
+:meth:`repro.parallel.worker.SweepPayload.fingerprint`).
 """
 
 from __future__ import annotations
@@ -29,7 +44,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Per-worker globals installed by the pool initializer (fork start method:
 #: inherited memory, so the payload is never pickled per task).
@@ -62,6 +77,20 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def payload_fingerprint(payload: Any) -> Tuple[object, ...]:
+    """The reuse fingerprint of a shared payload.
+
+    Payload classes that want pool reuse implement ``fingerprint()``
+    returning a stable, hashable token; anything else falls back to
+    object identity (the executor keeps the payload alive while its pool
+    does, so the id cannot be recycled underneath the comparison).
+    """
+    method = getattr(payload, "fingerprint", None)
+    if callable(method):
+        return ("fingerprint", method())
+    return ("object", id(payload))
+
+
 @dataclass
 class PhaseTiming:
     """Accumulated wall-clock/throughput numbers for one named phase."""
@@ -84,8 +113,28 @@ class PhaseTiming:
 
 
 @dataclass
+class PoolStats:
+    """Persistent-pool lifecycle counters (starts vs amortised reuses)."""
+
+    starts: int = 0
+    reuses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"starts": self.starts, "reuses": self.reuses}
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.starts, self.reuses)
+
+    def since(self, snapshot: Tuple[int, int]) -> Dict[str, int]:
+        return {
+            "starts": self.starts - snapshot[0],
+            "reuses": self.reuses - snapshot[1],
+        }
+
+
+@dataclass
 class ParallelExecutor:
-    """Shared-payload chunked map over a process pool (or inline).
+    """Shared-payload chunked map over a persistent process pool.
 
     ``jobs`` — worker processes; ``1`` runs serial (default), ``0`` or
     ``None`` uses every CPU.  ``chunk_size`` — items per task; the default
@@ -96,6 +145,18 @@ class ParallelExecutor:
     jobs: Optional[int] = 1
     chunk_size: Optional[int] = None
     timings: Dict[str, PhaseTiming] = field(default_factory=dict)
+    pool_stats: PoolStats = field(default_factory=PoolStats)
+    _pool: Optional[ProcessPoolExecutor] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _pool_key: Optional[Tuple[object, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Strong reference keeping the current pool's payload (and hence the
+    #: ids inside its fingerprint) alive for the pool's whole lifetime.
+    _pool_payload: Any = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         resolve_jobs(self.jobs)  # validate eagerly
@@ -113,6 +174,33 @@ class ParallelExecutor:
     @property
     def is_serial(self) -> bool:
         return self.effective_jobs == 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter teardown: nothing sensible left to do
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        self._pool = None
+        self._pool_key = None
+        self._pool_payload = None
+
+    @property
+    def pool_alive(self) -> bool:
+        """Whether a persistent worker pool is currently running."""
+        return self._pool is not None
 
     # -- mapping -----------------------------------------------------------
 
@@ -158,18 +246,38 @@ class ParallelExecutor:
         jobs: int,
     ) -> List[Any]:
         chunks = self._chunk(items, jobs)
+        pool = self._ensure_pool(worker, payload, jobs)
+        return [
+            result
+            for chunk_results in pool.map(_run_chunk, chunks)
+            for result in chunk_results
+        ]
+
+    def _ensure_pool(
+        self, worker: Callable, payload: Any, jobs: int
+    ) -> ProcessPoolExecutor:
+        """The persistent pool for ``(worker, payload)``.
+
+        Reused while both the worker function and the payload fingerprint
+        are unchanged; any change forks a fresh pool (the workers' inherited
+        copy of the payload would otherwise be stale).
+        """
+        key = (worker, payload_fingerprint(payload))
+        if self._pool is not None and self._pool_key == key:
+            self.pool_stats.reuses += 1
+            return self._pool
+        self.close()
         ctx = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(chunks)),
+        self._pool = ProcessPoolExecutor(
+            max_workers=jobs,
             mp_context=ctx,
             initializer=_init_worker,
             initargs=(worker, payload),
-        ) as pool:
-            return [
-                result
-                for chunk_results in pool.map(_run_chunk, chunks)
-                for result in chunk_results
-            ]
+        )
+        self._pool_key = key
+        self._pool_payload = payload
+        self.pool_stats.starts += 1
+        return self._pool
 
     def _chunk(self, items: List[Any], jobs: int) -> List[List[Any]]:
         size = self.chunk_size
@@ -188,3 +296,30 @@ class ParallelExecutor:
     def timings_dict(self) -> Dict[str, Dict[str, float]]:
         """All phase timings as plain JSON-encodable dictionaries."""
         return {name: t.as_dict() for name, t in sorted(self.timings.items())}
+
+    def snapshot_timings(self) -> Dict[str, Tuple[float, int, int]]:
+        """An opaque marker of the current totals, for :meth:`timings_since`."""
+        return {
+            name: (t.seconds, t.items, t.calls)
+            for name, t in self.timings.items()
+        }
+
+    def timings_since(
+        self, snapshot: Dict[str, Tuple[float, int, int]]
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-phase timing deltas accumulated after ``snapshot``.
+
+        Lets one long-lived executor serve a whole batch while each
+        experiment still reports only its own phase costs.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name, timing in sorted(self.timings.items()):
+            seconds, items, calls = snapshot.get(name, (0.0, 0, 0))
+            delta = PhaseTiming(
+                seconds=timing.seconds - seconds,
+                items=timing.items - items,
+                calls=timing.calls - calls,
+            )
+            if delta.calls or delta.items or delta.seconds > 0:
+                out[name] = delta.as_dict()
+        return out

@@ -60,6 +60,32 @@ class SweepPayload:
     #: the pool workers once, with the rest of the fork-shared payload.
     packed: Optional[PackedSchedules] = None
 
+    def fingerprint(self) -> Tuple[object, ...]:
+        """Pool-reuse token: equal fingerprints ⇒ equivalent payloads.
+
+        The big shared components (dataset, schedules, packed) enter by
+        object identity — they are memoised upstream (LRU datasets,
+        per-``(model, seed)`` schedule and packing memos), so the same
+        configuration presents the same objects across figures, and the
+        executor pins the payload while its pool lives, so the ids
+        cannot be recycled underneath a comparison.  Policies enter by
+        value (:meth:`~repro.core.placement.base.PlacementPolicy.cache_key`)
+        because fresh-but-equal policy objects are built per sweep call.
+        """
+        return (
+            type(self).__qualname__,
+            id(self.dataset),
+            id(self.schedules),
+            tuple(p.cache_key() for p in self.policies),
+            self.mode,
+            self.degrees,
+            self.max_degree,
+            self.seed,
+            self.engine,
+            self.backend,
+            id(self.packed) if self.packed is not None else None,
+        )
+
 
 def _sequence_for(
     payload: "SweepPayload",
@@ -148,6 +174,20 @@ class PlacementPayload:
     #: Timeline kernel backend: ``"python"`` (default) or ``"numpy"``.
     backend: str = PYTHON
     packed: Optional[PackedSchedules] = None
+
+    def fingerprint(self) -> Tuple[object, ...]:
+        """Pool-reuse token (see :meth:`SweepPayload.fingerprint`)."""
+        return (
+            type(self).__qualname__,
+            id(self.dataset),
+            id(self.schedules),
+            self.policy.cache_key(),
+            self.mode,
+            self.max_degree,
+            self.seed,
+            self.backend,
+            id(self.packed) if self.packed is not None else None,
+        )
 
 
 def select_sequences_chunk(

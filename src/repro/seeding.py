@@ -25,12 +25,26 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["derive_rng", "derive_seed"]
+__all__ = ["canonical_key_bytes", "derive_rng", "derive_seed"]
 
 
 def _encode_part(part: object) -> str:
     """One key part as text, with the separator escaped."""
     return str(part).replace("\\", "\\\\").replace(":", "\\:")
+
+
+def canonical_key_bytes(*parts: object) -> bytes:
+    """The canonical byte encoding of a key-part tuple.
+
+    Parts are stringified, separator-escaped and ``":"``-joined, so
+    distinct part tuples can never collide by concatenation.  This is
+    the encoding both :func:`derive_seed` and the content-addressed
+    sweep cache (:mod:`repro.cache`) hash — one canonical form, one
+    audit surface.
+    """
+    if not parts:
+        raise ValueError("a canonical key needs at least one part")
+    return ":".join(_encode_part(p) for p in parts).encode("utf-8")
 
 
 def derive_seed(*parts: object) -> int:
@@ -39,10 +53,9 @@ def derive_seed(*parts: object) -> int:
     The same parts yield the same seed in every process, under every
     ``PYTHONHASHSEED``, on every platform.
     """
-    if not parts:
-        raise ValueError("derive_seed needs at least one key part")
-    key = ":".join(_encode_part(p) for p in parts).encode("utf-8")
-    return int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+    return int.from_bytes(
+        hashlib.sha256(canonical_key_bytes(*parts)).digest()[:8], "big"
+    )
 
 
 def derive_rng(*parts: object) -> random.Random:

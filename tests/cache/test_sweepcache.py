@@ -1,0 +1,328 @@
+"""Tests for the content-addressed sweep cache.
+
+Three contracts:
+
+* **Key canonicality** — keys derive from SHA-256 over the canonical
+  part encoding (:func:`repro.seeding.canonical_key_bytes`), never
+  ``hash()``: identical inputs give identical keys in every process and
+  under every ``PYTHONHASHSEED``, and perturbing any input that affects
+  the floats changes the key.
+* **Value fidelity** — series served from the cache (memory or disk)
+  are field-for-field identical to freshly computed ones, for every
+  policy, mode, and (jobs, engine, backend) combination; the on-disk
+  layer tolerates corruption by missing cleanly.
+* **Sweep integration** — ``sweep_replication_degree`` with a cache
+  returns exactly what it returns without one, computes only the
+  missing policies on a partial hit, and keeps honest counters.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.cache import (
+    CacheStats,
+    SweepCache,
+    dataset_fingerprint,
+    sweep_cache_key,
+)
+from repro.core import (
+    CONREP,
+    UNCONREP,
+    make_policy,
+    sweep_replication_degree,
+)
+from repro.datasets import synthetic_facebook, synthetic_twitter
+from repro.onlinetime import (
+    FixedLengthModel,
+    RandomLengthModel,
+    SporadicModel,
+)
+from repro.parallel import ParallelExecutor, fork_available
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _dataset():
+    return synthetic_facebook(300, seed=3)
+
+
+def _cohort(dataset, n=6):
+    ranked = sorted(
+        dataset.graph.users(), key=lambda u: (dataset.graph.degree(u), u)
+    )
+    return ranked[-n:]
+
+
+def _key(dataset, users, **overrides):
+    kwargs = dict(
+        mode=CONREP, degrees=[0, 1, 2, 3], users=users, seed=1, repeats=2
+    )
+    kwargs.update(
+        {k: v for k, v in overrides.items() if k not in ("model", "policy")}
+    )
+    return sweep_cache_key(
+        dataset,
+        overrides.get("model", SporadicModel()),
+        overrides.get("policy", make_policy("random")),
+        **kwargs,
+    )
+
+
+class TestKeys:
+    def test_deterministic(self):
+        ds = _dataset()
+        users = _cohort(ds)
+        assert _key(ds, users) == _key(ds, users)
+        # Fresh-but-equal model/policy objects address the same entry.
+        assert _key(ds, users, model=SporadicModel()) == _key(
+            ds, users, model=SporadicModel()
+        )
+
+    def test_every_input_perturbation_changes_the_key(self):
+        ds = _dataset()
+        users = _cohort(ds)
+        base = _key(ds, users)
+        perturbed = [
+            _key(ds, users, seed=2),
+            _key(ds, users, repeats=1),
+            _key(ds, users, mode=UNCONREP),
+            _key(ds, users, degrees=[0, 1, 2]),
+            _key(ds, users[:-1]),
+            _key(ds, users, policy=make_policy("maxav")),
+            _key(ds, users, policy=make_policy("mostactive")),
+            _key(ds, users, model=FixedLengthModel(8)),
+            _key(ds, users, model=FixedLengthModel(2)),
+            _key(ds, users, model=SporadicModel(session_seconds=600)),
+            _key(ds, users, model=RandomLengthModel()),
+            _key(synthetic_facebook(300, seed=4), users),
+            _key(synthetic_twitter(300, seed=3), users),
+        ]
+        assert base not in perturbed
+        assert len(set(perturbed)) == len(perturbed)
+
+    def test_policy_parameterisation_is_keyed(self):
+        ds = _dataset()
+        users = _cohort(ds)
+        windowed = make_policy("mostactive")
+        windowed.window = 3600.0
+        assert _key(ds, users, policy=windowed) != _key(
+            ds, users, policy=make_policy("mostactive")
+        )
+
+    def test_dataset_fingerprint_is_content_not_name(self):
+        a = synthetic_facebook(300, seed=3)
+        b = synthetic_facebook(300, seed=3)
+        assert a is not b
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+        assert dataset_fingerprint(a) != dataset_fingerprint(
+            synthetic_facebook(301, seed=3)
+        )
+
+    def test_fingerprint_memoized_on_dataset(self):
+        ds = _dataset()
+        first = dataset_fingerprint(ds)
+        assert dataset_fingerprint(ds) is first  # cached string reused
+
+
+_SUBPROCESS_SCRIPT = """
+import json
+from repro.cache import dataset_fingerprint, sweep_cache_key
+from repro.core import CONREP, make_policy
+from repro.datasets import synthetic_facebook
+from repro.onlinetime import SporadicModel
+
+ds = synthetic_facebook(200, seed=3)
+users = sorted(ds.graph.users())[:6]
+key = sweep_cache_key(
+    ds, SporadicModel(), make_policy("random"),
+    mode=CONREP, degrees=[0, 1, 2], users=users, seed=1, repeats=2,
+)
+print(json.dumps({"fingerprint": dataset_fingerprint(ds), "key": key}))
+"""
+
+
+def _run_under_hashseed(hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+class TestHashSeedIndependence:
+    def test_keys_identical_across_hash_seeds(self):
+        # Two interpreters with different string-hash salts must derive
+        # the same content addresses — a hash()-based key fails this for
+        # any two salts, silently splitting the cache per process.
+        a = _run_under_hashseed("0")
+        b = _run_under_hashseed("12345")
+        assert a == b
+
+
+def _sweep(cache=None, executor=None, engine="incremental",
+           backend="python", policies=None, mode=CONREP):
+    ds = _dataset()
+    return sweep_replication_degree(
+        ds,
+        SporadicModel(),
+        policies or [make_policy(n) for n in ("maxav", "mostactive", "random")],
+        mode=mode,
+        degrees=list(range(5)),
+        users=_cohort(ds),
+        seed=1,
+        repeats=2,
+        executor=executor,
+        engine=engine,
+        backend=backend,
+        cache=cache,
+    )
+
+
+class TestCachedSweepIdentity:
+    @pytest.mark.parametrize("mode", [CONREP, UNCONREP])
+    def test_cached_equals_fresh_per_mode(self, mode):
+        cache = SweepCache()
+        cold = _sweep(cache=cache, mode=mode)
+        warm = _sweep(cache=cache, mode=mode)
+        fresh = _sweep(mode=mode)
+        assert warm == cold == fresh  # AggregateMetrics field equality
+        assert cache.stats.misses == cache.stats.stores == 3
+        assert cache.stats.hits == 3
+
+    @pytest.mark.parametrize(
+        "engine,backend", [("naive", "python"), ("incremental", "numpy")]
+    )
+    def test_entry_serves_every_engine_and_backend(self, engine, backend):
+        # Execution knobs are excluded from the key: an entry computed
+        # by the default path must equal what any other path computes.
+        cache = SweepCache()
+        default = _sweep(cache=cache)
+        other = _sweep(cache=cache, engine=engine, backend=backend)
+        assert other == default
+        assert cache.stats.misses == 3  # second sweep fully cache-served
+        fresh = _sweep(engine=engine, backend=backend)
+        assert default == fresh
+
+    @pytest.mark.skipif(
+        not fork_available(), reason="needs the fork start method"
+    )
+    def test_entry_serves_parallel_runs(self):
+        cache = SweepCache()
+        serial = _sweep(cache=cache)
+        with ParallelExecutor(jobs=2) as executor:
+            parallel = _sweep(cache=cache, executor=executor)
+        assert parallel == serial
+        assert cache.stats.misses == 3
+
+    def test_partial_hit_computes_only_missing_policies(self):
+        cache = SweepCache()
+        maxav_only = _sweep(cache=cache, policies=[make_policy("maxav")])
+        assert cache.stats.stores == 1
+        full = _sweep(cache=cache)
+        assert full["maxav"] == maxav_only["maxav"]
+        assert cache.stats.hits == 1  # maxav served, the rest computed
+        assert cache.stats.stores == 3
+        assert full == _sweep()
+
+    def test_disk_round_trip_is_field_identical(self, tmp_path):
+        first = SweepCache(tmp_path)
+        cold = _sweep(cache=first)
+        second = SweepCache(tmp_path)  # fresh memory, same directory
+        warm = _sweep(cache=second)
+        assert warm == cold
+        assert second.stats.disk_hits == 3
+        assert second.stats.stores == 0
+        assert not list(tmp_path.glob("*.tmp"))  # atomic writes only
+
+
+class TestStoreLayer:
+    def _series(self):
+        sweep = _sweep()
+        return tuple(sweep["random"])
+
+    def test_memory_hit_returns_same_objects(self):
+        cache = SweepCache()
+        series = self._series()
+        cache.put_series("k", series)
+        assert cache.get_series("k") is not None
+        assert all(
+            a is b for a, b in zip(cache.get_series("k"), series)
+        )
+        assert len(cache) == 1
+
+    def test_miss_counted(self):
+        cache = SweepCache()
+        assert cache.get_series("absent") is None
+        assert cache.stats.misses == 1
+
+    def test_corrupt_npy_misses_as_stale(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put_series("k", self._series())
+        (tmp_path / "k.npy").write_bytes(b"garbage")
+        reader = SweepCache(tmp_path)
+        assert reader.get_series("k") is None
+        assert reader.stats.stale == 1
+        assert reader.stats.misses == 1
+
+    def test_truncated_stamp_misses_as_stale(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put_series("k", self._series())
+        stamp = (tmp_path / "k.json").read_text()
+        (tmp_path / "k.json").write_text(stamp[: len(stamp) // 2])
+        reader = SweepCache(tmp_path)
+        assert reader.get_series("k") is None
+        assert reader.stats.stale == 1
+
+    def test_wrong_format_version_misses_as_stale(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put_series("k", self._series())
+        stamp = json.loads((tmp_path / "k.json").read_text())
+        stamp["format_version"] = -1
+        (tmp_path / "k.json").write_text(json.dumps(stamp))
+        reader = SweepCache(tmp_path)
+        assert reader.get_series("k") is None
+        assert reader.stats.stale == 1
+
+    def test_recompute_overwrites_corrupt_entry(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        series = self._series()
+        cache.put_series("k", series)
+        (tmp_path / "k.npy").write_bytes(b"garbage")
+        reader = SweepCache(tmp_path)
+        assert reader.get_series("k") is None  # stale miss
+        reader.put_series("k", series)  # the recomputed series
+        assert SweepCache(tmp_path).get_series("k") == series
+
+    def test_int_fields_come_back_as_ints(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put_series("k", self._series())
+        loaded = SweepCache(tmp_path).get_series("k")
+        for agg in loaded:
+            assert isinstance(agg.num_users, int)
+            assert isinstance(agg.num_infinite_delay, int)
+            assert isinstance(agg.num_infinite_delay_observed, int)
+
+    def test_stats_since_snapshot(self):
+        stats = CacheStats()
+        stats.hits = 2
+        mark = stats.snapshot()
+        stats.hits += 3
+        stats.misses += 1
+        assert stats.since(mark) == {
+            "hits": 3,
+            "misses": 1,
+            "stale": 0,
+            "stores": 0,
+            "disk_hits": 0,
+        }

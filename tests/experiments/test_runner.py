@@ -5,10 +5,12 @@ import math
 
 import pytest
 
+from repro.cache import SweepCache
 from repro.experiments import (
     dejsonify,
     jsonify,
     load_result,
+    render_batch_summary,
     result_to_dict,
     run_batch,
 )
@@ -96,7 +98,13 @@ class TestRunBatch:
     def test_writes_txt_and_json(self, tmp_path):
         written = run_batch(tmp_path, scale=TINY, ids=["table1", "x1"])
         names = sorted(p.name for p in written)
-        assert names == ["table1.json", "table1.txt", "x1.json", "x1.txt"]
+        assert names == [
+            "batch_summary.json",
+            "table1.json",
+            "table1.txt",
+            "x1.json",
+            "x1.txt",
+        ]
         parsed = json.loads((tmp_path / "x1.json").read_text())
         assert parsed["experiment_id"] == "x1"
         assert "DES" in (tmp_path / "x1.txt").read_text()
@@ -129,6 +137,61 @@ class TestRunBatch:
             set(phase) == {"seconds", "items", "calls", "items_per_second"}
             for phase in timings["phases"].values()
         )
+
+    def test_atomic_writes_leave_no_temp_files(self, tmp_path):
+        run_batch(tmp_path, scale=TINY, ids=["fig3"])
+        assert not list(tmp_path.glob("*.tmp"))
+        assert (tmp_path / "fig3.json").exists()
+
+    def test_batch_summary_contents(self, tmp_path):
+        run_batch(tmp_path, scale=TINY, ids=["fig3", "fig5"])
+        summary = json.loads((tmp_path / "batch_summary.json").read_text())
+        assert summary["num_experiments"] == 2
+        assert summary["scale"] == TINY.name
+        assert set(summary["experiments"]) == {"fig3", "fig5"}
+        # fig5 is a view over fig3's sweep: the batch-shared cache must
+        # have served it entirely from memory.
+        assert summary["cache"]["hits"] >= 12
+        assert summary["cache"]["entries"] == summary["cache"]["stores"]
+        fig5 = summary["experiments"]["fig5"]
+        assert fig5["cache"]["misses"] == 0
+        assert summary["pool"] == {"starts": 0, "reuses": 0}  # jobs=1
+        assert "sweep[sporadic]" in summary["phase_totals"]
+
+    def test_no_cache_batch_is_identical(self, tmp_path):
+        run_batch(tmp_path / "cached", scale=TINY, ids=["fig5"])
+        run_batch(
+            tmp_path / "plain", scale=TINY, ids=["fig5"], use_cache=False
+        )
+        cached = load_result(tmp_path / "cached" / "fig5.json")
+        plain = load_result(tmp_path / "plain" / "fig5.json")
+        cached.pop("timings")
+        plain.pop("timings")
+        assert cached == plain
+        summary = json.loads(
+            (tmp_path / "plain" / "batch_summary.json").read_text()
+        )
+        assert summary["cache"] is None
+
+    def test_shared_cache_spans_batches(self, tmp_path):
+        cache = SweepCache()
+        run_batch(tmp_path / "one", scale=TINY, ids=["fig3"], cache=cache)
+        mark = cache.stats.snapshot()
+        run_batch(tmp_path / "two", scale=TINY, ids=["fig3"], cache=cache)
+        assert cache.stats.since(mark)["misses"] == 0
+        one = load_result(tmp_path / "one" / "fig3.json")
+        two = load_result(tmp_path / "two" / "fig3.json")
+        one.pop("timings")
+        two.pop("timings")
+        assert one == two
+
+    def test_render_batch_summary_foot(self, tmp_path):
+        run_batch(tmp_path, scale=TINY, ids=["fig3"])
+        summary = json.loads((tmp_path / "batch_summary.json").read_text())
+        foot = render_batch_summary(summary)
+        assert "[batch] 1 experiments" in foot
+        assert "cache:" in foot
+        assert "fig3:" in foot
 
 
 def _contains(value, needle):

@@ -245,3 +245,38 @@ class TestComputeSchedules:
         fresh = compute_schedules(ds, SporadicModel(), seed=0)
         assert fresh is not first
         assert fresh == first  # same contents, recomputed
+
+
+class TestPackedSchedules:
+    def test_memoised_per_model_config_and_seed(self):
+        from repro.onlinetime import packed_schedules
+
+        ds = _dataset([_act(3600, creator=1)])
+        first = packed_schedules(ds, SporadicModel(), seed=0)
+        assert packed_schedules(ds, SporadicModel(), seed=0) is first
+        assert packed_schedules(ds, SporadicModel(), seed=1) is not first
+        assert packed_schedules(ds, SporadicModel(600), seed=0) is not first
+
+    def test_matches_ad_hoc_packing(self):
+        from repro.onlinetime import packed_schedules
+        from repro.timeline.packed import PackedSchedules
+
+        ds = _dataset([_act(3600 + i, creator=1) for i in range(4)])
+        schedules = compute_schedules(ds, SporadicModel(), seed=2)
+        memoised = packed_schedules(ds, SporadicModel(), seed=2)
+        ad_hoc = PackedSchedules.from_schedules(schedules)
+        for user in schedules:
+            for mine, theirs in zip(
+                memoised.row_slice(user), ad_hoc.row_slice(user)
+            ):
+                assert mine.tolist() == theirs.tolist()
+
+    def test_clear_drops_both_memos(self):
+        from repro.onlinetime import clear_schedule_cache, packed_schedules
+
+        ds = _dataset([_act(3600, creator=1)])
+        schedules = compute_schedules(ds, SporadicModel(), seed=0)
+        packed = packed_schedules(ds, SporadicModel(), seed=0)
+        clear_schedule_cache(ds)
+        assert compute_schedules(ds, SporadicModel(), seed=0) is not schedules
+        assert packed_schedules(ds, SporadicModel(), seed=0) is not packed

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.parallel import ParallelExecutor, fork_available, resolve_jobs
+from repro.parallel import (
+    ParallelExecutor,
+    fork_available,
+    payload_fingerprint,
+    resolve_jobs,
+)
 
 
 def _square_chunk(payload, chunk):
@@ -77,3 +82,102 @@ class TestParallelPath:
         ex = ParallelExecutor(jobs=0)
         assert ex.effective_jobs >= 1
         assert ex.map_shared(_square_chunk, 1, [1, 2, 3]) == [1, 4, 9]
+
+
+class _TokenPayload:
+    """A payload with an explicit reuse fingerprint."""
+
+    def __init__(self, token):
+        self.token = token
+
+    def fingerprint(self):
+        return ("token", self.token)
+
+    def __mul__(self, other):  # lets _square_chunk use it as the factor
+        return self.token * other
+
+
+class TestPayloadFingerprint:
+    def test_fingerprint_method_used(self):
+        assert payload_fingerprint(_TokenPayload(3)) == (
+            "fingerprint",
+            ("token", 3),
+        )
+        # Equal tokens on distinct objects fingerprint identically.
+        assert payload_fingerprint(_TokenPayload(3)) == payload_fingerprint(
+            _TokenPayload(3)
+        )
+
+    def test_fallback_is_object_identity(self):
+        payload = object()
+        assert payload_fingerprint(payload) == ("object", id(payload))
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+class TestPersistentPool:
+    def test_pool_reused_while_fingerprint_unchanged(self):
+        with ParallelExecutor(jobs=2) as ex:
+            ex.map_shared(_square_chunk, _TokenPayload(2), [1, 2, 3])
+            assert ex.pool_alive
+            ex.map_shared(_square_chunk, _TokenPayload(2), [4, 5])
+            ex.map_shared(_square_chunk, _TokenPayload(2), [6])
+            assert ex.pool_stats.starts == 1
+            assert ex.pool_stats.reuses == 2
+
+    def test_pool_restarted_on_payload_change(self):
+        with ParallelExecutor(jobs=2) as ex:
+            assert ex.map_shared(_square_chunk, _TokenPayload(1), [2]) == [4]
+            assert ex.map_shared(_square_chunk, _TokenPayload(3), [2]) == [12]
+            assert ex.pool_stats.starts == 2
+            assert ex.pool_stats.reuses == 0
+
+    def test_pool_restarted_on_worker_change(self):
+        with ParallelExecutor(jobs=2) as ex:
+            ex.map_shared(_square_chunk, _TokenPayload(1), [1])
+            with pytest.raises(RuntimeError):
+                ex.map_shared(_bad_chunk, _TokenPayload(1), [1, 2])
+            assert ex.pool_stats.starts == 2
+
+    def test_context_manager_closes_pool(self):
+        with ParallelExecutor(jobs=2) as ex:
+            ex.map_shared(_square_chunk, _TokenPayload(1), [1])
+            assert ex.pool_alive
+        assert not ex.pool_alive
+
+    def test_close_is_idempotent_and_allows_restart(self):
+        ex = ParallelExecutor(jobs=2)
+        ex.map_shared(_square_chunk, _TokenPayload(1), [3])
+        ex.close()
+        ex.close()
+        assert not ex.pool_alive
+        assert ex.map_shared(_square_chunk, _TokenPayload(1), [3]) == [9]
+        assert ex.pool_stats.starts == 2
+        ex.close()
+
+    def test_serial_path_never_starts_a_pool(self):
+        ex = ParallelExecutor(jobs=1)
+        ex.map_shared(_square_chunk, _TokenPayload(2), [1, 2])
+        assert not ex.pool_alive
+        assert ex.pool_stats.starts == 0
+
+
+class TestTimingDeltas:
+    def test_timings_since_reports_only_new_activity(self):
+        ex = ParallelExecutor(jobs=1)
+        ex.map_shared(_square_chunk, 1, [1, 2], phase="a")
+        mark = ex.snapshot_timings()
+        ex.map_shared(_square_chunk, 1, [3, 4, 5], phase="a")
+        ex.map_shared(_square_chunk, 1, [6], phase="b")
+        deltas = ex.timings_since(mark)
+        assert deltas["a"]["items"] == 3
+        assert deltas["a"]["calls"] == 1
+        assert deltas["b"]["items"] == 1
+        mark2 = ex.snapshot_timings()
+        assert ex.timings_since(mark2) == {}
+
+    def test_pool_stats_since(self):
+        ex = ParallelExecutor(jobs=1)
+        mark = ex.pool_stats.snapshot()
+        ex.pool_stats.starts += 2
+        ex.pool_stats.reuses += 5
+        assert ex.pool_stats.since(mark) == {"starts": 2, "reuses": 5}

@@ -12,6 +12,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.analysis",
+    "repro.cache",
     "repro.core",
     "repro.core.placement",
     "repro.datasets",
