@@ -278,9 +278,10 @@ class SweepCache:
             ):
                 raise ValueError("cache entry shape mismatch")
             return _matrix_to_series(matrix)
-        except (OSError, ValueError, KeyError, TypeError) as exc:
+        except (OSError, ValueError, KeyError, TypeError, EOFError) as exc:
             # Truncated, corrupted or out-of-date entries miss cleanly;
-            # the recomputed series overwrites them.
+            # the recomputed series overwrites them.  EOFError is np.load
+            # on a zero-length .npy — the torn-write worst case.
             del exc
             self.stats.stale += 1
             return None

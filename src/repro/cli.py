@@ -5,6 +5,8 @@ Examples::
     repro-osn list
     repro-osn run fig3 --scale bench
     repro-osn run all --scale full --jobs 8 --output results.txt
+    repro-osn batch out/ --scale bench --jobs 4
+    repro-osn batch out/ --resume        # continue an interrupted batch
     repro-osn stats --dataset facebook --users 2000 --seed 7
     repro-osn generate --kind twitter --users 1000 --graph g.txt --trace t.txt
     repro-osn simulate --users 800 --degree 10 --k 3 --days 2
@@ -57,6 +59,28 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {parsed}")
+    return parsed
+
+
+def _fault_injector_from_args(args: argparse.Namespace):
+    """Build the soak-test fault injector from the hidden CLI knobs."""
+    from repro.parallel import FaultInjector
+
+    if not (args.fault_crash or args.fault_hang or args.fault_error):
+        return None
+    return FaultInjector.random_faults(
+        seed=args.fault_seed,
+        crash=args.fault_crash,
+        hang=args.fault_hang,
+        error=args.fault_error,
+        hang_seconds=args.fault_hang_seconds,
+    )
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("Available experiments (paper artifact -> id):")
     for eid in experiment_ids():
@@ -74,7 +98,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     out = open(args.output, "w") if args.output else sys.stdout
     results = []
     try:
-        with ParallelExecutor(jobs=args.jobs) as executor:
+        with ParallelExecutor(
+            jobs=args.jobs,
+            chunk_timeout=args.chunk_timeout,
+            strict=args.strict,
+            fault_injector=_fault_injector_from_args(args),
+        ) as executor:
             for eid in ids:
                 result = run_experiment(
                     eid,
@@ -113,6 +142,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.output:
             out.close()
             print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import run_batch
+    from repro.parallel import RetryPolicy
+
+    scale = get_scale(args.scale)
+    ids = args.ids or None
+    retry = (
+        RetryPolicy(max_attempts=args.retry_attempts)
+        if args.retry_attempts is not None
+        else None
+    )
+    try:
+        run_batch(
+            args.out_dir,
+            scale=scale,
+            ids=ids,
+            jobs=args.jobs,
+            engine=args.engine,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            resume=args.resume,
+            chunk_timeout=args.chunk_timeout,
+            strict=args.strict,
+            retry=retry,
+            fault_injector=_fault_injector_from_args(args),
+        )
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted; rerun with --resume to continue:\n"
+            f"  repro-osn batch {args.out_dir} --scale {args.scale} --resume",
+            file=sys.stderr,
+        )
+        return 130
+    except Exception as exc:
+        print(
+            f"batch failed: {exc}\n"
+            f"journal and partial summary are in {args.out_dir}; "
+            f"rerun with --resume to retry the remaining experiments",
+            file=sys.stderr,
+        )
+        return 1
+    summary_path = f"{args.out_dir}/batch_summary.json"
+    with open(summary_path, encoding="utf-8") as handle:
+        summary = json.load(handle)
+    print(render_batch_summary(summary))
+    print(f"wrote {args.out_dir}")
     return 0
 
 
@@ -204,6 +285,52 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance knobs shared by ``run`` and ``batch``.
+
+    The ``--fault-*`` flags are hidden: they inject deterministic worker
+    crashes/hangs/errors for soak-testing the supervisor (CI uses them)
+    and are not part of the user-facing surface.
+    """
+    parser.add_argument(
+        "--chunk-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "deadline per work chunk; hung workers past it are killed, "
+            "the pool is rebuilt, and the chunk retries (default: no "
+            "deadline)"
+        ),
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "fail fast on the first worker failure instead of retrying "
+            "and quarantining"
+        ),
+    )
+    parser.add_argument(
+        "--fault-crash", type=float, default=0.0, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--fault-hang", type=float, default=0.0, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--fault-error", type=float, default=0.0, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--fault-hang-seconds",
+        type=_positive_float,
+        default=60.0,
+        help=argparse.SUPPRESS,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-osn",
@@ -271,7 +398,72 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render each numeric table as an ASCII chart",
     )
+    _add_supervision_args(p_run)
     p_run.set_defaults(fn=_cmd_run)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run experiments to an output directory (resumable)",
+    )
+    p_batch.add_argument(
+        "out_dir",
+        help=(
+            "output directory: per-experiment <id>.txt/<id>.json, a "
+            "journal.json progress record, and a batch_summary.json rollup"
+        ),
+    )
+    p_batch.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    p_batch.add_argument(
+        "--scale", default="bench", choices=("bench", "full")
+    )
+    p_batch.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help=(
+            "worker processes for the per-user sweep work "
+            "(1 = serial, 0 = all CPUs; results are identical for any value)"
+        ),
+    )
+    p_batch.add_argument(
+        "--engine", default="incremental", choices=("incremental", "naive")
+    )
+    p_batch.add_argument(
+        "--backend", default="python", choices=("python", "numpy")
+    )
+    p_batch.add_argument(
+        "--cache-dir", help="directory for the persistent sweep-result cache"
+    )
+    p_batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the sweep cache (results are identical either way)",
+    )
+    p_batch.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue an interrupted batch: skip experiments journal.json "
+            "already marks done (outputs are bit-identical to an "
+            "uninterrupted run)"
+        ),
+    )
+    p_batch.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "attempts per work chunk before it is bisected and persistent "
+            "failures are quarantined (default: 3)"
+        ),
+    )
+    _add_supervision_args(p_batch)
+    p_batch.set_defaults(fn=_cmd_batch)
 
     p_stats = sub.add_parser("stats", help="synthesise a dataset, print stats")
     p_stats.add_argument(

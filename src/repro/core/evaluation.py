@@ -49,6 +49,7 @@ from repro.parallel import (
     PlacementPayload,
     SweepPayload,
     evaluate_users_chunk,
+    is_quarantined,
     select_sequences_chunk,
 )
 from repro.seeding import derive_rng
@@ -262,7 +263,14 @@ def placement_sequences(
         list(users),
         phase=f"place[{policy.name}]",
     )
-    return dict(zip(users, sequences))
+    # Users quarantined by the supervisor (persistent worker failures)
+    # are excluded rather than mapped to a bogus sequence; the executor's
+    # FailureReport names them.
+    return {
+        user: seq
+        for user, seq in zip(users, sequences)
+        if not is_quarantined(seq)
+    }
 
 
 def placement_rng(seed: int, policy_name: str, user: UserId) -> random.Random:
@@ -392,6 +400,17 @@ def sweep_replication_degree(
                 users,
                 phase=f"sweep[{model.name}]",
             )
+            # Quarantined users drop out of the aggregation (the means
+            # cover the surviving cohort); the executor's FailureReport
+            # records exactly who was excluded and why.
+            per_user = [
+                cell for cell in per_user if not is_quarantined(cell)
+            ]
+            if not per_user:
+                raise RuntimeError(
+                    f"every user of the sweep[{model.name}] cohort was "
+                    f"quarantined; see the executor failure report"
+                )
             for policy in compute_policies:
                 for i in range(len(degrees)):
                     runs[policy.name][i].append(

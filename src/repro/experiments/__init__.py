@@ -17,6 +17,12 @@ from repro.experiments.figures import (
     run_experiment,
 )
 from repro.experiments.runner import (
+    BatchJournal,
+    DONE,
+    FAILED,
+    JOURNAL_FORMAT_VERSION,
+    PENDING,
+    RUNNING,
     dejsonify,
     jsonify,
     load_result,
@@ -33,8 +39,14 @@ from repro.experiments.report import (
 
 __all__ = [
     "BENCH",
+    "BatchJournal",
     "DEGREES",
+    "DONE",
     "EXPERIMENTS",
+    "FAILED",
+    "JOURNAL_FORMAT_VERSION",
+    "PENDING",
+    "RUNNING",
     "ExperimentResult",
     "ExperimentScale",
     "FULL",

@@ -1164,6 +1164,7 @@ def run_experiment(
         executor = ParallelExecutor(jobs=jobs)
     timing_mark = executor.snapshot_timings()
     pool_mark = executor.pool_stats.snapshot()
+    failure_mark = executor.failures.snapshot()
     cache_mark = cache.stats.snapshot() if cache is not None else None
     start = perf_counter()
     try:
@@ -1187,4 +1188,7 @@ def run_experiment(
     }
     if cache is not None and cache_mark is not None:
         result.timings["cache"] = cache.stats.since(cache_mark)
+    failure_delta = executor.failures.since(failure_mark)
+    if failure_delta:
+        result.timings["failures"] = failure_delta.as_dict()
     return result

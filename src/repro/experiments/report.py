@@ -118,7 +118,15 @@ class ExperimentResult:
             )
         pool = self.timings.get("pool")
         if pool and (pool.get("starts") or pool.get("reuses")):
+            line = f"pool: {pool['starts']} starts, {pool['reuses']} reuses"
+            for counter in ("retries", "rebuilds", "timeouts", "quarantined"):
+                if pool.get(counter):
+                    line += f", {pool[counter]} {counter}"
+            bits.append(line)
+        failures = self.timings.get("failures")
+        if failures:
             bits.append(
-                f"pool: {pool['starts']} starts, {pool['reuses']} reuses"
+                f"failures: {len(failures.get('chunk_failures', []))} chunk "
+                f"failures, {len(failures.get('quarantined', []))} quarantined"
             )
         return "[timing] " + "; ".join(bits)

@@ -15,6 +15,16 @@ worker pool survives across experiments while its shared payload is
 unchanged.  All output files are written atomically (temp file +
 ``os.replace``), and a ``batch_summary.json`` rollup of per-experiment
 phase timings plus cache and pool counters is written alongside.
+
+Batches are *resumable*: a format-versioned ``journal.json`` in the
+output directory records each experiment's status
+(pending/running/done/failed) and is rewritten atomically on every
+transition.  A batch killed mid-run — Ctrl-C, OOM, a lost worker in
+strict mode — leaves a valid journal behind; re-running with
+``resume=True`` (CLI ``--resume``) skips the experiments already marked
+done whose output files still exist and recomputes only the rest.
+Because every experiment derives its randomness from absolute seeds,
+the resumed outputs are bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.cache import SweepCache
 from repro.core.incremental import INCREMENTAL
-from repro.parallel import ParallelExecutor
+from repro.parallel import FaultInjector, ParallelExecutor, RetryPolicy
 from repro.timeline.packed import PYTHON
 from repro.experiments.config import BENCH, ExperimentScale
 from repro.experiments.figures import experiment_ids, run_experiment
@@ -112,6 +122,108 @@ def _atomic_write_text(path: Path, text: str) -> None:
     os.replace(tmp, path)
 
 
+#: Version stamp of the journal schema; bumped on incompatible changes.
+JOURNAL_FORMAT_VERSION = 1
+
+#: Journal statuses an experiment moves through.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+_JOURNAL_STATUSES = frozenset({PENDING, RUNNING, DONE, FAILED})
+
+
+@dataclasses.dataclass
+class BatchJournal:
+    """The per-batch ``journal.json``: experiment-id -> status.
+
+    Every transition is persisted atomically (temp file + ``os.replace``)
+    so a batch killed at any instant leaves either the previous journal
+    or the new one on disk — never a torn file.  ``open`` validates the
+    format version and (on resume) that the scale matches the interrupted
+    run, since mixing scales would silently blend incompatible outputs.
+    """
+
+    path: Path
+    scale: str
+    statuses: Dict[str, str]
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, os.PathLike],
+        *,
+        scale: str,
+        ids: Iterable[str],
+        resume: bool = False,
+    ) -> "BatchJournal":
+        """Create a fresh journal, or reload an existing one for resume.
+
+        With ``resume=True`` an existing journal is merged: known ids
+        keep their recorded status (``running`` is demoted to ``failed``
+        — the previous run died inside it), new ids start ``pending``.
+        A scale or format mismatch raises ``ValueError`` rather than
+        resuming into inconsistent outputs.  Without ``resume``, any
+        existing journal is overwritten with a fresh all-pending one.
+        """
+        path = Path(path)
+        statuses = {eid: PENDING for eid in ids}
+        if resume and path.exists():
+            blob = json.loads(path.read_text(encoding="utf-8"))
+            version = blob.get("format_version")
+            if version != JOURNAL_FORMAT_VERSION:
+                raise ValueError(
+                    f"journal {path} has format_version {version!r}; "
+                    f"this build writes {JOURNAL_FORMAT_VERSION}"
+                )
+            if blob.get("scale") != scale:
+                raise ValueError(
+                    f"journal {path} records scale {blob.get('scale')!r} "
+                    f"but this run uses {scale!r}; resume with the same "
+                    f"scale or point at a fresh output directory"
+                )
+            for eid, status in blob.get("experiments", {}).items():
+                if eid not in statuses:
+                    continue  # id not requested this time
+                if status not in _JOURNAL_STATUSES:
+                    raise ValueError(
+                        f"journal {path} has unknown status {status!r} "
+                        f"for {eid!r}"
+                    )
+                # A 'running' entry means the previous run died mid-way
+                # through this experiment; its outputs are suspect.
+                statuses[eid] = FAILED if status == RUNNING else status
+        journal = cls(path=path, scale=scale, statuses=statuses)
+        journal.write()
+        return journal
+
+    def status(self, experiment_id: str) -> str:
+        return self.statuses.get(experiment_id, PENDING)
+
+    def mark(self, experiment_id: str, status: str) -> None:
+        if status not in _JOURNAL_STATUSES:
+            raise ValueError(f"unknown journal status {status!r}")
+        self.statuses[experiment_id] = status
+        self.write()
+
+    def done_ids(self) -> List[str]:
+        return [e for e, s in self.statuses.items() if s == DONE]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "format_version": JOURNAL_FORMAT_VERSION,
+            "scale": self.scale,
+            "experiments": dict(self.statuses),
+        }
+
+    def write(self) -> None:
+        _atomic_write_text(
+            self.path,
+            json.dumps(self.as_dict(), indent=1, sort_keys=True) + "\n",
+        )
+
+
 def summarize_batch(
     results: List[ExperimentResult],
     *,
@@ -121,12 +233,16 @@ def summarize_batch(
     backend: str,
     cache: Optional[SweepCache] = None,
     executor: Optional[ParallelExecutor] = None,
+    skipped: Optional[List[str]] = None,
 ) -> Dict[str, Any]:
     """The batch observability rollup written to ``batch_summary.json``.
 
     Per-experiment phase timings (each experiment's own deltas, as filled
     in by ``run_experiment``), phase totals aggregated across the batch,
-    and the batch-wide cache hit/miss and pool start/reuse counters.
+    the batch-wide cache hit/miss and pool counters (including retries,
+    rebuilds, timeouts, and quarantines from the supervised executor),
+    the executor's structured failure report, and — on resume — the list
+    of experiments skipped because the journal already marked them done.
     """
     phase_totals: Dict[str, Dict[str, float]] = {}
     for result in results:
@@ -158,6 +274,8 @@ def summarize_batch(
         "phase_totals": phase_totals,
         "cache": None,
         "pool": None,
+        "failures": None,
+        "skipped": sorted(skipped) if skipped else [],
     }
     if cache is not None:
         summary["cache"] = dict(
@@ -167,6 +285,8 @@ def summarize_batch(
         )
     if executor is not None:
         summary["pool"] = executor.pool_stats.as_dict()
+        if executor.failures:
+            summary["failures"] = executor.failures.as_dict()
     return summary
 
 
@@ -189,8 +309,34 @@ def render_batch_summary(summary: Dict[str, Any]) -> str:
         )
     pool = summary.get("pool")
     if pool is not None and (pool.get("starts") or pool.get("reuses")):
-        lines.append(
+        line = (
             f"[batch] pool: {pool['starts']} starts, {pool['reuses']} reuses"
+        )
+        for counter in ("retries", "rebuilds", "timeouts", "quarantined"):
+            if pool.get(counter):
+                line += f", {pool[counter]} {counter}"
+        lines.append(line)
+    failures = summary.get("failures")
+    if failures:
+        quarantined = failures.get("quarantined", [])
+        lines.append(
+            f"[batch] failures: "
+            f"{len(failures.get('chunk_failures', []))} chunk failures, "
+            f"{len(quarantined)} quarantined"
+            + (
+                " ("
+                + ", ".join(str(q.get("item")) for q in quarantined[:5])
+                + (", ..." if len(quarantined) > 5 else "")
+                + ")"
+                if quarantined
+                else ""
+            )
+        )
+    skipped = summary.get("skipped")
+    if skipped:
+        lines.append(
+            f"[batch] resume: skipped {len(skipped)} already-done "
+            f"experiment(s): {', '.join(skipped)}"
         )
     per_exp = ", ".join(
         f"{eid}: {t.get('total_seconds', 0.0):.2f}s"
@@ -213,6 +359,11 @@ def run_batch(
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     use_cache: bool = True,
     executor: Optional[ParallelExecutor] = None,
+    resume: bool = False,
+    chunk_timeout: Optional[float] = None,
+    strict: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> List[Path]:
     """Run experiments and write ``<id>.txt`` + ``<id>.json`` per entry.
 
@@ -230,10 +381,22 @@ def run_batch(
     persistent :class:`~repro.parallel.ParallelExecutor` is threaded
     through all experiments so the worker pool survives between them
     (pass ``executor`` to supply your own; it is left open for you to
-    close).  Each experiment's JSON carries its own phase/cache/pool
-    deltas, and a ``batch_summary.json`` rollup is written last.  All
-    writes are atomic.  Returns the paths written.  The directory is
-    created if missing.
+    close — ``chunk_timeout``/``strict``/``retry``/``fault_injector``
+    configure the owned executor and are ignored when you pass one).
+
+    Progress is journalled to ``journal.json`` after every experiment
+    transition; ``resume=True`` reloads it and skips experiments already
+    marked done whose ``<id>.txt``/``<id>.json`` are still on disk (the
+    journal's scale must match, or ``ValueError`` is raised).  If an
+    experiment raises — including ``KeyboardInterrupt`` and strict-mode
+    worker loss — it is marked failed, the journal and a
+    ``batch_summary.json`` covering the completed prefix are still
+    written, the executor is closed, and the exception propagates to the
+    caller.  Each experiment's JSON carries its own
+    phase/cache/pool/failure deltas, and the final ``batch_summary.json``
+    rollup includes the executor's quarantine report.  All writes are
+    atomic.  Returns the paths written.  The directory is created if
+    missing.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -241,20 +404,46 @@ def run_batch(
         cache = SweepCache(cache_dir)
     owns_executor = executor is None
     if owns_executor:
-        executor = ParallelExecutor(jobs=jobs)
+        kwargs: Dict[str, Any] = {"jobs": jobs, "strict": strict}
+        if chunk_timeout is not None:
+            kwargs["chunk_timeout"] = chunk_timeout
+        if retry is not None:
+            kwargs["retry"] = retry
+        if fault_injector is not None:
+            kwargs["fault_injector"] = fault_injector
+        executor = ParallelExecutor(**kwargs)
+    all_ids = list(ids) if ids is not None else list(experiment_ids())
+    journal = BatchJournal.open(
+        out / "journal.json", scale=scale.name, ids=all_ids, resume=resume
+    )
+    skipped = [
+        eid
+        for eid in all_ids
+        if resume
+        and journal.status(eid) == DONE
+        and (out / f"{eid}.txt").exists()
+        and (out / f"{eid}.json").exists()
+    ]
     written: List[Path] = []
     results: List[ExperimentResult] = []
     try:
-        for eid in ids if ids is not None else experiment_ids():
-            result = run_experiment(
-                eid,
-                scale,
-                jobs=jobs,
-                executor=executor,
-                engine=engine,
-                backend=backend,
-                cache=cache,
-            )
+        for eid in all_ids:
+            if eid in skipped:
+                continue
+            journal.mark(eid, RUNNING)
+            try:
+                result = run_experiment(
+                    eid,
+                    scale,
+                    jobs=jobs,
+                    executor=executor,
+                    engine=engine,
+                    backend=backend,
+                    cache=cache,
+                )
+            except BaseException:
+                journal.mark(eid, FAILED)
+                raise
             results.append(result)
             txt_path = out / f"{eid}.txt"
             _atomic_write_text(txt_path, result.render() + "\n")
@@ -264,22 +453,24 @@ def run_batch(
                 json.dumps(result_to_dict(result), indent=1, sort_keys=True),
             )
             written.extend([txt_path, json_path])
+            journal.mark(eid, DONE)
     finally:
         if owns_executor:
             executor.close()
-    summary = summarize_batch(
-        results,
-        scale=scale,
-        jobs=jobs,
-        engine=engine,
-        backend=backend,
-        cache=cache,
-        executor=executor,
-    )
-    summary_path = out / "batch_summary.json"
-    _atomic_write_text(
-        summary_path,
-        json.dumps(jsonify(summary), indent=1, sort_keys=True) + "\n",
-    )
-    written.append(summary_path)
+        summary = summarize_batch(
+            results,
+            scale=scale,
+            jobs=jobs,
+            engine=engine,
+            backend=backend,
+            cache=cache,
+            executor=executor,
+            skipped=skipped,
+        )
+        summary_path = out / "batch_summary.json"
+        _atomic_write_text(
+            summary_path,
+            json.dumps(jsonify(summary), indent=1, sort_keys=True) + "\n",
+        )
+        written.append(summary_path)
     return written

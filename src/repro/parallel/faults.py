@@ -1,0 +1,219 @@
+"""Deterministic fault injection for the supervised executor.
+
+Production fault tolerance is only trustworthy if every failure mode the
+supervisor claims to handle is actually exercised, repeatably, in tests.
+:class:`FaultInjector` provides that: a frozen, picklable plan of faults
+that ships to every pool worker at fork time (it rides the same
+initializer as the shared payload) and fires deterministically — the same
+chunk faults in the same way on every run, in every worker, under every
+``PYTHONHASHSEED``, because all probabilistic decisions derive from
+:func:`repro.seeding.derive_seed`.
+
+Three fault kinds, mirroring how real workers die:
+
+* ``"crash"`` — the worker process exits hard (``os._exit``), the way a
+  segfaulting native extension or an OOM kill takes a fork down.  The
+  parent sees a broken pool and must rebuild it.
+* ``"hang"`` — the worker sleeps far past any reasonable deadline, the
+  way a livelocked or swapping worker behaves.  Only a per-chunk timeout
+  (``chunk_timeout``) recovers from this.
+* ``"error"`` — the worker raises :class:`InjectedFault`, the way an
+  ordinary per-item bug surfaces.  The pool survives; the chunk retries.
+
+Faults trigger per *chunk attempt*: a rule with ``times=1`` faults the
+first attempt at any matching chunk and lets the retry succeed, while
+``times=None`` faults every attempt — a *poison* rule, which the
+supervisor must bisect down to and quarantine.  Rules can match specific
+items (``items={user_id}``) or any chunk (``items=frozenset()``).
+
+The serial (``jobs=1``) path consults the injector too, but only
+``"error"`` rules apply there — crashing or hanging the calling process
+would take the whole run down, which is exactly what supervision exists
+to prevent.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence, Tuple
+
+from repro.seeding import derive_rng
+
+#: Fault kinds, in increasing order of subtlety.
+CRASH = "crash"
+HANG = "hang"
+ERROR = "error"
+
+FAULT_KINDS: Tuple[str, ...] = (CRASH, HANG, ERROR)
+
+#: Exit code used by injected crashes, distinguishable from real faults.
+CRASH_EXIT_CODE = 87
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``"error"`` faults."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault trigger.
+
+    ``items`` — fire only on chunks containing at least one of these
+    items; empty means *any* chunk.  ``times`` — fire while
+    ``attempt < times`` (so ``times=1`` faults only the first attempt);
+    ``None`` fires on every attempt (a poison rule).  ``probability``
+    thins the rule with a deterministic coin derived from the injector
+    seed, the rule kind, the chunk's first item and the attempt number.
+    """
+
+    kind: str
+    items: frozenset = field(default_factory=frozenset)
+    times: Optional[int] = 1
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 (None = every attempt)")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+    def matches(self, items: Sequence[Any], attempt: int, seed: int) -> bool:
+        if self.times is not None and attempt >= self.times:
+            return False
+        if self.items and not self.items.intersection(items):
+            return False
+        if self.probability < 1.0:
+            anchor = items[0] if items else ""
+            coin = derive_rng(seed, "fault", self.kind, anchor, attempt)
+            if coin.random() >= self.probability:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """A deterministic plan of worker faults (frozen, fork-shareable).
+
+    First matching rule wins.  ``hang_seconds`` bounds how long a
+    ``"hang"`` fault sleeps, so even an unsupervised test run terminates
+    eventually.
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+    hang_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.hang_seconds <= 0:
+            raise ValueError("hang_seconds must be > 0")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def once(
+        cls,
+        *,
+        crash: Iterable[Any] = (),
+        hang: Iterable[Any] = (),
+        error: Iterable[Any] = (),
+        any_chunk: Optional[str] = None,
+        seed: int = 0,
+        hang_seconds: float = 60.0,
+    ) -> "FaultInjector":
+        """Fault the *first* attempt of chunks containing the given items.
+
+        ``any_chunk`` (a fault kind) additionally faults the first
+        attempt of every chunk — the standard "kill the whole first
+        round" stress pattern.
+        """
+        rules = []
+        for kind, items in ((CRASH, crash), (HANG, hang), (ERROR, error)):
+            items = frozenset(items)
+            if items:
+                rules.append(FaultRule(kind, items=items, times=1))
+        if any_chunk is not None:
+            rules.append(FaultRule(any_chunk, times=1))
+        return cls(rules=tuple(rules), seed=seed, hang_seconds=hang_seconds)
+
+    @classmethod
+    def poison(
+        cls,
+        kind: str,
+        items: Iterable[Any],
+        *,
+        seed: int = 0,
+        hang_seconds: float = 60.0,
+    ) -> "FaultInjector":
+        """Fault *every* attempt at chunks containing the given items.
+
+        The supervisor can only recover by bisecting the chunk and
+        quarantining the poison items one by one.
+        """
+        return cls(
+            rules=(FaultRule(kind, items=frozenset(items), times=None),),
+            seed=seed,
+            hang_seconds=hang_seconds,
+        )
+
+    @classmethod
+    def random_faults(
+        cls,
+        *,
+        seed: int = 0,
+        crash: float = 0.0,
+        hang: float = 0.0,
+        error: float = 0.0,
+        times: Optional[int] = 1,
+        hang_seconds: float = 60.0,
+    ) -> "FaultInjector":
+        """Probabilistic soak-test plan (still fully deterministic in
+        ``seed``): each chunk attempt draws one seeded coin per kind."""
+        rules = tuple(
+            FaultRule(kind, times=times, probability=p)
+            for kind, p in ((CRASH, crash), (HANG, hang), (ERROR, error))
+            if p > 0.0
+        )
+        return cls(rules=rules, seed=seed, hang_seconds=hang_seconds)
+
+    # -- behaviour ----------------------------------------------------------
+
+    def fault_for(self, items: Sequence[Any], attempt: int) -> Optional[str]:
+        """The fault kind to inject for this chunk attempt, if any."""
+        for rule in self.rules:
+            if rule.matches(items, attempt, self.seed):
+                return rule.kind
+        return None
+
+    def apply(
+        self,
+        items: Sequence[Any],
+        attempt: int,
+        *,
+        in_worker: bool = True,
+    ) -> None:
+        """Inject the planned fault for this chunk attempt, if any.
+
+        Called by the pool's chunk runner before the real work.  With
+        ``in_worker=False`` (the serial path) only ``"error"`` faults
+        fire — crash/hang would kill the supervising process itself.
+        """
+        kind = self.fault_for(items, attempt)
+        if kind is None:
+            return
+        if kind == CRASH and in_worker:
+            os._exit(CRASH_EXIT_CODE)
+        elif kind == HANG and in_worker:
+            time.sleep(self.hang_seconds)
+        elif kind == ERROR:
+            raise InjectedFault(
+                f"injected fault on attempt {attempt} "
+                f"(chunk of {len(items)} starting at {items[0]!r})"
+                if items
+                else f"injected fault on attempt {attempt} (empty chunk)"
+            )

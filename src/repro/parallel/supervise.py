@@ -1,0 +1,217 @@
+"""Supervision primitives for the fault-tolerant executor.
+
+The executor's pool path no longer trusts its workers: every chunk is
+dispatched under a supervisor that detects worker loss (a crashed fork
+breaks the pool), hangs (per-chunk deadlines) and ordinary exceptions,
+and answers each with the same defined policy —
+
+* **retry with exponential backoff + deterministic jitter**
+  (:class:`RetryPolicy`), rebuilding the pool first when the failure
+  killed or wedged it;
+* **bisection** once a chunk exhausts its attempts: the chunk is split
+  and each half retried fresh, narrowing a persistent failure down to
+  the single item causing it;
+* **quarantine** when a single-item chunk still fails: the poison item
+  is excluded from the phase, its identity and error recorded in the
+  executor's :class:`FailureReport`, and :data:`QUARANTINED` is returned
+  in its result slot so callers keep exact item alignment.
+
+``strict=True`` restores fail-fast: the first failure of any kind raises
+(:class:`ChunkFailureError`, or the original exception for ordinary
+worker errors) instead of being retried.
+
+Everything here is observability-first: chunk failures and quarantined
+items carry the phase, the offending item, the error text and the
+(remote) traceback, and land in experiment reports and the batch
+summary, never in a swallowed ``except``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.seeding import derive_rng
+
+#: Failure kinds recorded by the supervisor.
+KIND_ERROR = "error"  # the worker raised an ordinary exception
+KIND_WORKER_LOST = "worker-lost"  # a worker process died; pool broke
+KIND_TIMEOUT = "timeout"  # the chunk exceeded its deadline
+
+
+class Quarantined:
+    """Singleton placeholder for an item excluded by the supervisor.
+
+    It occupies the item's slot in the mapped results, so callers keep
+    one-result-per-item alignment and can drop quarantined entries with
+    an :func:`is_quarantined` check.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "QUARANTINED"
+
+
+QUARANTINED = Quarantined()
+
+
+def is_quarantined(value: Any) -> bool:
+    """Whether a mapped result slot holds the quarantine placeholder."""
+    return isinstance(value, Quarantined)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Chunk retry schedule: exponential backoff with bounded jitter.
+
+    The delay before attempt ``n`` (1-based retries) is
+    ``min(max_delay, base_delay * 2**(n-1))`` stretched by up to
+    ``jitter`` of itself; the jitter fraction is derived
+    deterministically from the chunk's offset and attempt, so reruns
+    back off identically (and results never depend on it — backoff only
+    schedules work, it computes nothing).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, *, token: object = 0) -> float:
+        """Seconds to back off before retrying at ``attempt`` (>= 1)."""
+        base = min(self.max_delay, self.base_delay * (2 ** max(0, attempt - 1)))
+        if base == 0 or self.jitter == 0:
+            return base
+        frac = derive_rng("retry-jitter", token, attempt).random()
+        return base * (1.0 + self.jitter * frac)
+
+
+@dataclass
+class ChunkFailure:
+    """One failed chunk attempt, as recorded by the supervisor."""
+
+    phase: str
+    start: int  # absolute offset of the chunk's first item
+    size: int
+    attempt: int
+    kind: str  # error | worker-lost | timeout
+    error: str
+    traceback: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class QuarantinedItem:
+    """One poison item excluded from a phase after exhausting retries."""
+
+    phase: str
+    item: Any  # the mapped item — a user id in the sweep phases
+    kind: str
+    error: str
+    traceback: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        if not isinstance(self.item, (str, int, float, bool, type(None))):
+            out["item"] = repr(self.item)
+        return out
+
+
+@dataclass
+class FailureReport:
+    """Accumulated supervision events of one executor.
+
+    ``chunk_failures`` is the full retry history (every failed attempt,
+    including ones that later succeeded); ``quarantined`` lists the
+    items permanently excluded.  An executor shared across experiments
+    takes per-experiment deltas via :meth:`snapshot` / :meth:`since`.
+    """
+
+    chunk_failures: List[ChunkFailure] = field(default_factory=list)
+    quarantined: List[QuarantinedItem] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.chunk_failures or self.quarantined)
+
+    def quarantined_items(self) -> List[Any]:
+        return [q.item for q in self.quarantined]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "chunk_failures": [f.as_dict() for f in self.chunk_failures],
+            "quarantined": [q.as_dict() for q in self.quarantined],
+        }
+
+    def snapshot(self) -> Tuple[int, int]:
+        """An opaque marker of the current totals, for :meth:`since`."""
+        return (len(self.chunk_failures), len(self.quarantined))
+
+    def since(self, snapshot: Tuple[int, int]) -> "FailureReport":
+        """The events recorded after ``snapshot`` was taken."""
+        return FailureReport(
+            chunk_failures=list(self.chunk_failures[snapshot[0]:]),
+            quarantined=list(self.quarantined[snapshot[1]:]),
+        )
+
+
+class ChunkFailureError(RuntimeError):
+    """Raised in strict mode for failures with no original exception to
+    re-raise (a lost worker or a timed-out chunk)."""
+
+    def __init__(self, failure: ChunkFailure):
+        super().__init__(
+            f"chunk of {failure.size} items at offset {failure.start} "
+            f"failed ({failure.kind}) on attempt {failure.attempt} in "
+            f"phase {failure.phase!r}: {failure.error}"
+        )
+        self.failure = failure
+
+
+@dataclass
+class ChunkTask:
+    """One unit of supervised dispatch: a contiguous slice of the items."""
+
+    start: int  # absolute offset into the phase's item list
+    items: List[Any]
+    attempts: int = 0
+
+    def bisect(self) -> Tuple["ChunkTask", "ChunkTask"]:
+        """Split into two fresh half-chunks (attempts reset: the halves
+        are new hypotheses about where the failure lives)."""
+        mid = len(self.items) // 2
+        return (
+            ChunkTask(self.start, self.items[:mid]),
+            ChunkTask(self.start + mid, self.items[mid:]),
+        )
+
+
+#: Placeholder for result slots not yet filled during supervision.
+_PENDING = object()
+
+
+__all__ = [
+    "ChunkFailure",
+    "ChunkFailureError",
+    "ChunkTask",
+    "FailureReport",
+    "KIND_ERROR",
+    "KIND_TIMEOUT",
+    "KIND_WORKER_LOST",
+    "QUARANTINED",
+    "Quarantined",
+    "QuarantinedItem",
+    "RetryPolicy",
+    "is_quarantined",
+]

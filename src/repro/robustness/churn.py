@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.evaluation import (
     AggregateMetrics,
@@ -31,6 +31,7 @@ from repro.core.placement.base import CONREP, PlacementPolicy
 from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
 from repro.onlinetime.base import OnlineTimeModel, Schedules, compute_schedules, user_rng
+from repro.parallel import ParallelExecutor
 from repro.timeline.intervals import IntervalSet
 
 
@@ -91,6 +92,7 @@ def churn_sweep(
     mode: str = CONREP,
     seed: int = 0,
     repeats: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Place on nominal schedules, evaluate on perturbed ones.
 
@@ -98,6 +100,11 @@ def churn_sweep(
     against an independently perturbed realisation of everybody's
     schedule (averaged over ``repeats``).  At ``miss_prob=0`` and zero
     jitter this reduces exactly to the nominal evaluation.
+
+    ``executor`` fans the per-user placement work out over worker
+    processes; every per-user RNG (placement and perturbation alike) is
+    derived process-independently via :func:`repro.seeding.derive_seed`,
+    so the results are bit-identical for every ``jobs`` value.
     """
     if not users:
         raise ValueError("empty user cohort")
@@ -116,6 +123,7 @@ def churn_sweep(
                 mode=mode,
                 max_degree=k,
                 seed=run_seed,
+                executor=executor,
             )
             for policy in policies
         }

@@ -294,6 +294,42 @@ class TestStoreLayer:
         assert reader.get_series("k") is None
         assert reader.stats.stale == 1
 
+    def test_empty_npy_misses_as_stale(self, tmp_path):
+        # The torn-write worst case: a zero-length .npy, for which
+        # np.load raises EOFError (not ValueError like other truncation).
+        cache = SweepCache(tmp_path)
+        cache.put_series("k", self._series())
+        (tmp_path / "k.npy").write_bytes(b"")
+        reader = SweepCache(tmp_path)
+        assert reader.get_series("k") is None
+        assert reader.stats.stale == 1
+        assert reader.stats.misses == 1
+
+    def test_mid_file_truncation_misses_as_stale(self, tmp_path):
+        # Valid .npy header, data cut off part-way through.
+        cache = SweepCache(tmp_path)
+        cache.put_series("k", self._series())
+        payload = (tmp_path / "k.npy").read_bytes()
+        (tmp_path / "k.npy").write_bytes(payload[: len(payload) - 16])
+        reader = SweepCache(tmp_path)
+        assert reader.get_series("k") is None
+        assert reader.stats.stale == 1
+
+    def test_torn_entries_overwritten_cleanly(self, tmp_path):
+        # After any torn write, the next store fully repairs the entry.
+        series = self._series()
+        for damage in (
+            lambda: (tmp_path / "k.npy").write_bytes(b""),
+            lambda: (tmp_path / "k.json").write_text("{\"form"),
+        ):
+            cache = SweepCache(tmp_path)
+            cache.put_series("k", series)
+            damage()
+            reader = SweepCache(tmp_path)
+            assert reader.get_series("k") is None
+            reader.put_series("k", series)
+            assert SweepCache(tmp_path).get_series("k") == series
+
     def test_recompute_overwrites_corrupt_entry(self, tmp_path):
         cache = SweepCache(tmp_path)
         series = self._series()

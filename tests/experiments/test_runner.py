@@ -155,7 +155,16 @@ class TestRunBatch:
         assert summary["cache"]["entries"] == summary["cache"]["stores"]
         fig5 = summary["experiments"]["fig5"]
         assert fig5["cache"]["misses"] == 0
-        assert summary["pool"] == {"starts": 0, "reuses": 0}  # jobs=1
+        assert summary["pool"] == {  # jobs=1: no pool activity at all
+            "starts": 0,
+            "reuses": 0,
+            "rebuilds": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "quarantined": 0,
+        }
+        assert summary["failures"] is None
+        assert summary["skipped"] == []
         assert "sweep[sporadic]" in summary["phase_totals"]
 
     def test_no_cache_batch_is_identical(self, tmp_path):

@@ -180,4 +180,12 @@ class TestTimingDeltas:
         mark = ex.pool_stats.snapshot()
         ex.pool_stats.starts += 2
         ex.pool_stats.reuses += 5
-        assert ex.pool_stats.since(mark) == {"starts": 2, "reuses": 5}
+        ex.pool_stats.retries += 1
+        assert ex.pool_stats.since(mark) == {
+            "starts": 2,
+            "reuses": 5,
+            "rebuilds": 0,
+            "retries": 1,
+            "timeouts": 0,
+            "quarantined": 0,
+        }

@@ -7,12 +7,14 @@ import pytest
 from repro.core import make_policy, select_cohort
 from repro.datasets import synthetic_facebook
 from repro.onlinetime import SporadicModel
+from repro.parallel import ParallelExecutor, fork_available
 from repro.robustness import (
     ChurnParams,
     churn_sweep,
     perturb_schedule,
     perturb_schedules,
 )
+from repro.seeding import derive_rng
 from repro.timeline import HOUR_SECONDS, IntervalSet
 
 import functools
@@ -78,6 +80,18 @@ class TestPerturbSchedules:
         assert a == b
         assert a[1] != a[2]  # independent draws per user
 
+    def test_rng_pinned_to_derive_seed(self):
+        # Regression pin: the per-user perturbation RNG is derive_rng
+        # (SHA-256 over (seed, user)) — NOT hash()-based, NOT positional.
+        # Changing the derivation silently changes every churn figure.
+        schedules = {7: IntervalSet([(i * 1000, i * 1000 + 100) for i in range(20)])}
+        params = ChurnParams(session_miss_prob=0.5, jitter_seconds=300)
+        out = perturb_schedules(schedules, params, seed=11)
+        expected = perturb_schedule(
+            schedules[7], params, derive_rng(11, 7)
+        )
+        assert out[7] == expected
+
 
 class TestChurnSweep:
     def test_zero_churn_is_nominal_and_degradation_monotoneish(self):
@@ -120,6 +134,35 @@ class TestChurnSweep:
         )
         assert set(sweep) == {"maxav", "random"}
         assert all(len(s) == 2 for s in sweep.values())
+
+    @pytest.mark.skipif(
+        not fork_available(), reason="needs the fork start method"
+    )
+    def test_parallel_sweep_is_bit_identical(self):
+        ds = _dataset()
+        users = select_cohort(ds, 8, max_users=8) or select_cohort(
+            ds, 6, max_users=8
+        )
+        kwargs = dict(
+            k=3,
+            users=users,
+            miss_probs=[0.0, 0.4],
+            jitter_seconds=600,
+            seed=2,
+            repeats=2,
+        )
+        serial = churn_sweep(
+            ds, SporadicModel(), [make_policy("maxav")], **kwargs
+        )
+        with ParallelExecutor(jobs=3, chunk_size=2) as executor:
+            parallel = churn_sweep(
+                ds,
+                SporadicModel(),
+                [make_policy("maxav")],
+                executor=executor,
+                **kwargs,
+            )
+        assert parallel == serial  # field-for-field float equality
 
     def test_empty_cohort_rejected(self):
         ds = _dataset()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -27,6 +29,53 @@ class TestParser:
     def test_generate_requires_paths(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["generate"])
+
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch", "out"])
+        assert args.out_dir == "out"
+        assert args.ids == []
+        assert not args.resume
+        assert not args.strict
+        assert args.chunk_timeout is None
+        assert args.retry_attempts is None
+
+    def test_batch_supervision_flags(self):
+        args = build_parser().parse_args(
+            [
+                "batch",
+                "out",
+                "fig3",
+                "fig5",
+                "--resume",
+                "--strict",
+                "--chunk-timeout",
+                "2.5",
+                "--retry-attempts",
+                "5",
+            ]
+        )
+        assert args.ids == ["fig3", "fig5"]
+        assert args.resume and args.strict
+        assert args.chunk_timeout == 2.5
+        assert args.retry_attempts == 5
+
+    def test_chunk_timeout_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--chunk-timeout", "0"])
+
+    def test_hidden_fault_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["batch", "out", "--fault-crash", "0.1", "--fault-seed", "7"]
+        )
+        assert args.fault_crash == 0.1
+        assert args.fault_seed == 7
+        # Hidden: absent from the rendered help text.
+        parser = build_parser()
+        sub = next(
+            a for a in parser._subparsers._group_actions
+        ).choices["batch"]
+        assert "--fault-crash" not in sub.format_help()
+        assert "--chunk-timeout" in sub.format_help()
 
 
 class TestCommands:
@@ -127,3 +176,67 @@ class TestCommands:
         text = out_file.read_text()
         # The aggregate table is numeric and must render as a chart.
         assert "|" in text
+
+
+class TestBatchCommand:
+    def test_batch_writes_outputs_and_journal(self, tmp_path, capsys):
+        rc = main(["batch", str(tmp_path), "table1", "x1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[batch] 2 experiments" in out
+        for name in (
+            "table1.txt",
+            "table1.json",
+            "x1.txt",
+            "x1.json",
+            "journal.json",
+            "batch_summary.json",
+        ):
+            assert (tmp_path / name).exists()
+        journal = json.loads((tmp_path / "journal.json").read_text())
+        assert journal["experiments"] == {"table1": "done", "x1": "done"}
+
+    def test_batch_resume_skips_done(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path), "table1"]) == 0
+        capsys.readouterr()
+        assert main(["batch", str(tmp_path), "table1", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped 1 already-done" in out
+        summary = json.loads((tmp_path / "batch_summary.json").read_text())
+        assert summary["skipped"] == ["table1"]
+        assert summary["num_experiments"] == 0
+
+    def test_batch_unknown_experiment_fails_with_hint(self, tmp_path, capsys):
+        rc = main(["batch", str(tmp_path), "nope"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "batch failed" in err
+        assert "--resume" in err
+        journal = json.loads((tmp_path / "journal.json").read_text())
+        assert journal["experiments"]["nope"] == "failed"
+
+    def test_batch_with_injected_errors_still_succeeds(self, tmp_path):
+        # Serial supervision retries injected first-attempt errors; the
+        # outputs must be identical to a fault-free run.
+        clean = tmp_path / "clean"
+        faulted = tmp_path / "faulted"
+        assert main(["batch", str(clean), "x1"]) == 0
+        assert (
+            main(
+                [
+                    "batch",
+                    str(faulted),
+                    "x1",
+                    "--fault-error",
+                    "1.0",
+                    "--fault-seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        a = json.loads((clean / "x1.json").read_text())
+        b = json.loads((faulted / "x1.json").read_text())
+        a.pop("timings")
+        b.pop("timings")
+        assert a == b
