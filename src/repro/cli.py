@@ -59,6 +59,13 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+def _shards_arg(value: str) -> int:
+    shards = int(value)
+    if shards < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {shards}")
+    return shards
+
+
 def _positive_float(value: str) -> float:
     parsed = float(value)
     if parsed <= 0:
@@ -112,6 +119,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     engine=args.engine,
                     backend=args.backend,
                     cache=cache,
+                    shards=args.shards,
                 )
                 results.append(result)
                 print(result.render(), file=out)
@@ -134,6 +142,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 jobs=executor.effective_jobs,
                 engine=args.engine,
                 backend=args.backend,
+                shards=args.shards,
                 cache=cache,
                 executor=executor,
             )
@@ -166,6 +175,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             engine=args.engine,
             backend=args.backend,
+            shards=args.shards,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             resume=args.resume,
@@ -377,6 +387,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_run.add_argument(
+        "--shards",
+        type=_shards_arg,
+        default=1,
+        help=(
+            "split each sweep cohort into this many contiguous slices "
+            "dispatched one at a time, bounding peak memory on large "
+            "cohorts (results are bit-identical for any value)"
+        ),
+    )
+    p_run.add_argument(
         "--cache-dir",
         help=(
             "directory for the persistent sweep-result cache; entries are "
@@ -434,6 +454,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument(
         "--backend", default="python", choices=("python", "numpy")
+    )
+    p_batch.add_argument(
+        "--shards",
+        type=_shards_arg,
+        default=1,
+        help=(
+            "split each sweep cohort into this many contiguous slices "
+            "dispatched one at a time (results are bit-identical)"
+        ),
     )
     p_batch.add_argument(
         "--cache-dir", help="directory for the persistent sweep-result cache"

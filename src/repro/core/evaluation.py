@@ -147,6 +147,67 @@ class AggregateMetrics:
         )
 
     @staticmethod
+    def merge(parts: Sequence["AggregateMetrics"]) -> "AggregateMetrics":
+        """Combine aggregates over *disjoint* cohorts into one rollup.
+
+        Unlike :meth:`mean` (which averages repeats of the *same*
+        cohort with equal weight), ``merge`` weights each part by its
+        user count — the result is the aggregate of the union cohort.
+        Plain metrics weight by ``num_users``; the finite-sample delay
+        means weight by each part's finite-user count; the counters add.
+
+        Note: float addition is not associative, so a merge of
+        per-shard aggregates agrees with a single pass over the union
+        cohort only up to rounding.  Paths that need bit-identical
+        sharded results (``shards=`` on the sweeps) therefore
+        concatenate the per-user cells before aggregating and use
+        ``merge`` only for rollups across shard *datasets*.
+        """
+        if not parts:
+            raise ValueError("cannot merge zero aggregates")
+        total = sum(p.num_users for p in parts)
+        if not total:
+            raise ValueError("cannot merge aggregates over zero users")
+
+        def by_users(get) -> float:
+            return sum(get(p) * p.num_users for p in parts) / total
+
+        def by_finite(get, finite) -> float:
+            weights = [finite(p) for p in parts]
+            denom = sum(weights)
+            if not denom:
+                return 0.0
+            return (
+                sum(get(p) * w for p, w in zip(parts, weights)) / denom
+            )
+
+        return AggregateMetrics(
+            num_users=total,
+            availability=by_users(lambda p: p.availability),
+            max_achievable_availability=by_users(
+                lambda p: p.max_achievable_availability
+            ),
+            aod_time=by_users(lambda p: p.aod_time),
+            aod_activity=by_users(lambda p: p.aod_activity),
+            expected_activity_fraction=by_users(
+                lambda p: p.expected_activity_fraction
+            ),
+            delay_hours_actual=by_finite(
+                lambda p: p.delay_hours_actual,
+                lambda p: p.num_users - p.num_infinite_delay,
+            ),
+            delay_hours_observed=by_finite(
+                lambda p: p.delay_hours_observed,
+                lambda p: p.num_users - p.num_infinite_delay_observed,
+            ),
+            mean_replicas_used=by_users(lambda p: p.mean_replicas_used),
+            num_infinite_delay=sum(p.num_infinite_delay for p in parts),
+            num_infinite_delay_observed=sum(
+                p.num_infinite_delay_observed for p in parts
+            ),
+        )
+
+    @staticmethod
     def mean(aggregates: Sequence["AggregateMetrics"]) -> "AggregateMetrics":
         """Average aggregates across repeats.
 
@@ -327,6 +388,7 @@ def sweep_replication_degree(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Metric means per policy per allowed replication degree.
 
@@ -351,9 +413,20 @@ def sweep_replication_degree(
     with the cached ones; the returned floats are identical either way.
     Execution knobs (``executor``/``engine``/``backend``) are *not* part
     of the address: every combination produces bit-identical results.
+
+    ``shards`` splits the cohort into that many contiguous slices and
+    fans each slice out separately — per-shard aggregates are computed
+    from per-user cells that are then concatenated before the rollup,
+    so the returned series is bit-identical to ``shards=1`` (which is
+    why ``shards`` is an execution knob, excluded from cache keys).
+    Sharding bounds the fan-out working set per ``map_shared`` call;
+    at million-user scale it is what keeps one sweep's in-flight chunk
+    results from dominating memory.
     """
     if not users:
         raise ValueError("empty user cohort")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     check_engine(engine)
     check_backend(backend)
     users = list(users)
@@ -394,12 +467,23 @@ def sweep_replication_degree(
                     seed=run_seed,
                 ),
             )
-            per_user = executor.map_shared(
-                evaluate_users_chunk,
-                payload,
-                users,
-                phase=f"sweep[{model.name}]",
-            )
+            per_user = []
+            for shard in range(shards):
+                lo = shard * len(users) // shards
+                hi = (shard + 1) * len(users) // shards
+                if lo == hi:
+                    continue
+                phase = f"sweep[{model.name}]"
+                if shards > 1:
+                    phase += f"[shard {shard + 1}/{shards}]"
+                per_user.extend(
+                    executor.map_shared(
+                        evaluate_users_chunk,
+                        payload,
+                        users[lo:hi],
+                        phase=phase,
+                    )
+                )
             # Quarantined users drop out of the aggregation (the means
             # cover the surviving cohort); the executor's FailureReport
             # records exactly who was excluded and why.
@@ -442,6 +526,7 @@ def sweep_session_length(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> Dict[str, List[AggregateMetrics]]:
     """Fig. 8: fixed replication degree, Sporadic session length swept."""
     results: Dict[str, List[AggregateMetrics]] = {p.name: [] for p in policies}
@@ -460,6 +545,7 @@ def sweep_session_length(
             engine=engine,
             backend=backend,
             cache=cache,
+            shards=shards,
         )
         for name, series in point.items():
             results[name].append(series[0])
@@ -480,6 +566,7 @@ def sweep_user_degree(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> Dict[str, List[Optional[AggregateMetrics]]]:
     """Fig. 9: cohorts of user degree 1..10, replication degree maximal.
 
@@ -509,6 +596,7 @@ def sweep_user_degree(
             engine=engine,
             backend=backend,
             cache=cache,
+            shards=shards,
         )
         for name, series in point.items():
             results[name].append(series[0])

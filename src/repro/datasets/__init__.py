@@ -10,6 +10,7 @@ from repro.datasets.facebook import (
 )
 from repro.datasets.filters import filter_dataset
 from repro.datasets.schema import Activity, ActivityTrace, Dataset
+from repro.datasets.sharding import ShardedDataset, SyntheticSpec
 from repro.datasets.stats import (
     DatasetStats,
     activity_count_distribution,
@@ -17,10 +18,14 @@ from repro.datasets.stats import (
     degree_distribution,
 )
 from repro.datasets.synthesis import (
+    STREAM_VERSION,
     DiurnalMixture,
     TraceParams,
     synthesize_tweet_trace,
     synthesize_wall_trace,
+    user_activities,
+    user_receivers,
+    user_stream,
 )
 from repro.datasets.twitter import (
     PAPER_TWITTER_AVG_DEGREE,
@@ -41,6 +46,9 @@ __all__ = [
     "PAPER_FACEBOOK_USERS",
     "PAPER_TWITTER_AVG_DEGREE",
     "PAPER_TWITTER_USERS",
+    "STREAM_VERSION",
+    "ShardedDataset",
+    "SyntheticSpec",
     "TraceParams",
     "activity_count_distribution",
     "dataset_stats",
@@ -54,4 +62,7 @@ __all__ = [
     "synthesize_wall_trace",
     "synthetic_facebook",
     "synthetic_twitter",
+    "user_activities",
+    "user_receivers",
+    "user_stream",
 ]

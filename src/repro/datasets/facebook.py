@@ -107,12 +107,15 @@ def synthetic_facebook(
     params: Optional[TraceParams] = None,
     min_activities: int = 10,
     degree_alpha: float = _DEGREE_ALPHA,
+    max_degree: Optional[int] = None,
 ) -> Dataset:
     """Build a synthetic Facebook-like dataset and run the paper's filter.
 
     Defaults are sized for seconds-scale experiments; pass
     ``num_users=PAPER_FACEBOOK_USERS`` for a paper-scale run.  The result
-    is a pure function of ``(num_users, seed, params)``.
+    is a pure function of ``(num_users, seed, params)``.  ``max_degree``
+    caps the degree-sequence support (million-user runs want an explicit
+    cap; ``None`` keeps the generator's ``num_users ** 0.75`` default).
     """
     rng = random.Random(seed)
     if params is None:
@@ -120,9 +123,11 @@ def synthetic_facebook(
             trace_days=90,
             activities_mean=PAPER_FACEBOOK_AVG_ACTIVITIES,
         )
-    degrees = powerlaw_degree_sequence(num_users, degree_alpha, rng)
+    degrees = powerlaw_degree_sequence(
+        num_users, degree_alpha, rng, max_degree=max_degree
+    )
     graph = configuration_graph(degrees, rng)
-    trace = synthesize_wall_trace(graph, params, rng)
+    trace = synthesize_wall_trace(graph, params, seed)
     dataset = Dataset(
         name=f"synthetic-facebook-{num_users}",
         kind="facebook",

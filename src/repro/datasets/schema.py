@@ -13,7 +13,16 @@ absolute timestamp in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.graph.social_graph import FollowerGraph, SocialGraph, UserId
 from repro.timeline.day import time_of_day
@@ -40,15 +49,29 @@ class Activity:
 
 
 class ActivityTrace:
-    """An indexed, chronologically sorted collection of activities."""
+    """An indexed, chronologically sorted collection of activities.
+
+    The per-user creator/receiver indexes are built lazily on first
+    access: a trace that is only iterated (streaming digests, sharded
+    materialisation) never pays for them, which matters when millions of
+    activities are resident.
+    """
 
     def __init__(self, activities: Iterable[Activity]):
         self._activities: Tuple[Activity, ...] = tuple(sorted(activities))
-        self._by_creator: Dict[UserId, List[Activity]] = {}
-        self._by_receiver: Dict[UserId, List[Activity]] = {}
+        self._by_creator: Optional[Dict[UserId, List[Activity]]] = None
+        self._by_receiver: Optional[Dict[UserId, List[Activity]]] = None
+
+    def _index(self) -> None:
+        if self._by_creator is not None:
+            return
+        by_creator: Dict[UserId, List[Activity]] = {}
+        by_receiver: Dict[UserId, List[Activity]] = {}
         for act in self._activities:
-            self._by_creator.setdefault(act.creator, []).append(act)
-            self._by_receiver.setdefault(act.receiver, []).append(act)
+            by_creator.setdefault(act.creator, []).append(act)
+            by_receiver.setdefault(act.receiver, []).append(act)
+        self._by_creator = by_creator
+        self._by_receiver = by_receiver
 
     # -- bulk access -----------------------------------------------------
 
@@ -84,16 +107,19 @@ class ActivityTrace:
     def created_by(self, user: UserId) -> Sequence[Activity]:
         """Activities the user performed (defines his online time under the
         Sporadic / continuous models)."""
+        self._index()
         return self._by_creator.get(user, [])
 
     def received_by(self, user: UserId) -> Sequence[Activity]:
         """Activities landing on the user's profile (the demand that
         availability-on-demand-activity measures)."""
+        self._index()
         return self._by_receiver.get(user, [])
 
     def activity_count(self, user: UserId) -> int:
         """Number of activities the user created (the paper filters on
         'less than 10 wall-posts or tweets')."""
+        self._index()
         return len(self._by_creator.get(user, ()))
 
     def interaction_counts(self, user: UserId) -> Dict[UserId, int]:
@@ -101,6 +127,7 @@ class ActivityTrace:
         ``user``'s profile.  This is the MostActive ranking signal: 'a
         friend who created most of a user's received activity is considered
         as the most active friend' (paper §IV-B)."""
+        self._index()
         counts: Dict[UserId, int] = {}
         for act in self._by_receiver.get(user, ()):
             if act.creator != user:

@@ -1,0 +1,346 @@
+"""Sharded, lazily materialised synthetic datasets.
+
+The paper's filtered cohorts are ~14k users, but the ROADMAP north star
+is millions — and the eager pipeline (generate the whole trace, filter,
+hold everything in one process) hits a memory wall long before that.
+This module exploits the stream-per-user synthesis layout
+(:mod:`repro.datasets.synthesis`, ``STREAM_VERSION >= 2``): because user
+``u``'s activities are a pure function of ``(graph, params, seed, u)``,
+any subset of users can be materialised on demand without replaying
+anyone else's stream.
+
+:class:`SyntheticSpec` is the declarative recipe (kind, size, seed,
+params); :class:`ShardedDataset` builds the graph once, runs the paper's
+activity/candidate filter to fixpoint over a lightweight *survey* of
+per-user receiver lists (no timestamps, no ``Activity`` objects), and
+then serves shard ``k`` as a real :class:`~repro.datasets.schema.Dataset`
+covering a contiguous slice of the surviving cohort plus exactly the
+context users (replica candidates) the sweep kernels read.
+
+Shard datasets are stamped with a content fingerprint derived from
+``(spec, shard, num_shards)`` so they compose with the content-addressed
+:class:`~repro.cache.SweepCache` without hashing their activities.
+
+Equivalence guarantees (property-tested):
+
+* the surviving-user set equals :func:`repro.datasets.filters.filter_dataset`'s
+  fixpoint on the eager dataset;
+* a cohort user's candidate set, created activities and received
+  activities in its shard are bit-identical to the eager dataset's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.schema import ActivityTrace, Dataset
+from repro.datasets.synthesis import (
+    STREAM_VERSION,
+    TraceParams,
+    user_activities,
+    user_receivers,
+)
+from repro.graph.generators import (
+    configuration_graph,
+    powerlaw_degree_sequence,
+    powerlaw_follower_graph,
+)
+from repro.graph.social_graph import UserId
+from repro.seeding import canonical_key_bytes
+
+__all__ = ["ShardedDataset", "SyntheticSpec"]
+
+#: Matches the module-private default in facebook.py / twitter.py.
+_DEGREE_ALPHA = 1.35
+
+#: Mirrors ``filter_dataset``'s fixpoint round cap.
+_MAX_FILTER_ROUNDS = 50
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Declarative recipe for a synthetic dataset.
+
+    Mirrors the arguments of :func:`~repro.datasets.facebook.synthetic_facebook`
+    / :func:`~repro.datasets.twitter.synthetic_twitter`: building the
+    spec eagerly (:meth:`eager`) and building it shard by shard produce
+    the same users, candidates and activities.
+    """
+
+    kind: str
+    num_users: int
+    seed: int = 0
+    params: Optional[TraceParams] = None
+    min_activities: int = 10
+    degree_alpha: float = _DEGREE_ALPHA
+    #: Cap on the degree-sequence support (``None`` → the generator's
+    #: ``num_users ** 0.75`` default).  Million-user runs want an explicit
+    #: cap: the default support would make the *average* degree explode.
+    max_degree: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("facebook", "twitter"):
+            raise ValueError(f"unknown dataset kind: {self.kind!r}")
+        if self.num_users < 2:
+            raise ValueError("num_users must be >= 2")
+        if self.min_activities < 0:
+            raise ValueError("min_activities must be >= 0")
+
+    @property
+    def require_candidates(self) -> bool:
+        """Twitter runs the paper's followers-present filter too."""
+        return self.kind == "twitter"
+
+    def resolved_params(self) -> TraceParams:
+        """The trace params, with the per-kind defaults applied."""
+        if self.params is not None:
+            return self.params
+        if self.kind == "facebook":
+            return TraceParams(trace_days=90, activities_mean=50.0)
+        return TraceParams(trace_days=14, activities_mean=30.0)
+
+    def build_graph(self):
+        """The full social graph — identical to the eager builders'."""
+        rng = random.Random(self.seed)
+        if self.kind == "facebook":
+            degrees = powerlaw_degree_sequence(
+                self.num_users,
+                self.degree_alpha,
+                rng,
+                max_degree=self.max_degree,
+            )
+            return configuration_graph(degrees, rng)
+        return powerlaw_follower_graph(
+            self.num_users,
+            self.degree_alpha,
+            rng,
+            max_followers=self.max_degree,
+        )
+
+    def fingerprint(self) -> str:
+        """Content address of the spec (covers the RNG stream layout)."""
+        params = self.resolved_params()
+        parts: List[object] = [
+            "synthetic-spec",
+            STREAM_VERSION,
+            self.kind,
+            self.num_users,
+            self.seed,
+            self.min_activities,
+            self.degree_alpha,
+            self.max_degree,
+            params.trace_days,
+            params.activities_mean,
+            params.activities_sigma,
+            params.diurnal_std_hours,
+            params.partner_zipf_alpha,
+        ]
+        for component in params.mixture.components:
+            parts.extend(component)
+        return hashlib.sha256(canonical_key_bytes(*parts)).hexdigest()
+
+    def eager(self) -> Dataset:
+        """The full eager dataset (reference path for equivalence tests)."""
+        from repro.datasets.facebook import synthetic_facebook
+        from repro.datasets.twitter import synthetic_twitter
+
+        builder = (
+            synthetic_facebook if self.kind == "facebook" else synthetic_twitter
+        )
+        return builder(
+            self.num_users,
+            seed=self.seed,
+            params=self.params,
+            min_activities=self.min_activities,
+            degree_alpha=self.degree_alpha,
+            max_degree=self.max_degree,
+        )
+
+
+class ShardedDataset:
+    """Per-shard lazy materialisation of a :class:`SyntheticSpec`.
+
+    Construction builds the graph and resolves the paper's filter
+    fixpoint from a survey of per-user receiver lists; activities (with
+    timestamps) are only materialised when a shard is requested, and a
+    shard covers just its cohort slice plus the cohort's surviving
+    replica candidates.
+    """
+
+    def __init__(self, spec: SyntheticSpec, num_shards: int):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.spec = spec
+        self.num_shards = num_shards
+        self.params = spec.resolved_params()
+        self.graph = spec.build_graph()
+        n = self.graph.num_users
+        if sorted(self.graph.users()) != list(range(n)):
+            raise ValueError(
+                "sharded synthesis requires contiguous user ids 0..N-1"
+            )
+        self._alive = self._resolve_survivors(n)
+        self._survivors: Tuple[UserId, ...] = tuple(
+            int(u) for u in np.flatnonzero(self._alive)
+        )
+
+    # -- filter fixpoint -------------------------------------------------
+
+    def _partners(self, user: UserId) -> List[UserId]:
+        """The user's full sorted partner list (stream-layout input)."""
+        if self.spec.kind == "facebook":
+            return sorted(self.graph.neighbors(user))
+        return sorted(self.graph.followees(user))
+
+    def _survey_receivers(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat CSR of every user's receiver list, without timestamps."""
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        chunks: List[List[UserId]] = []
+        for user in range(n):
+            receivers = user_receivers(
+                self._partners(user), self.params, self.spec.seed, user
+            )
+            chunks.append(receivers)
+            offsets[user + 1] = offsets[user] + len(receivers)
+        flat = np.fromiter(
+            (r for chunk in chunks for r in chunk),
+            dtype=np.int64,
+            count=int(offsets[-1]),
+        )
+        return flat, offsets
+
+    def _candidate_csr(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat CSR of every user's replica-candidate list."""
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        chunks = []
+        for user in range(n):
+            candidates = sorted(self.graph.replica_candidates(user))
+            chunks.append(candidates)
+            offsets[user + 1] = offsets[user] + len(candidates)
+        flat = np.fromiter(
+            (c for chunk in chunks for c in chunk),
+            dtype=np.int64,
+            count=int(offsets[-1]),
+        )
+        return flat, offsets
+
+    @staticmethod
+    def _segment_counts(
+        mask: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Per-segment True counts of a flat mask under CSR offsets."""
+        prefix = np.zeros(len(mask) + 1, dtype=np.int64)
+        np.cumsum(mask, out=prefix[1:])
+        return prefix[offsets[1:]] - prefix[offsets[:-1]]
+
+    def _resolve_survivors(self, n: int) -> np.ndarray:
+        """The filter fixpoint as a boolean alive mask over 0..N-1.
+
+        Replays :func:`repro.datasets.filters.filter_dataset` exactly:
+        each round keeps users whose surviving-receiver activity count
+        meets the threshold (and, for Twitter, who retain at least one
+        surviving candidate), until the kept set stops shrinking or the
+        round cap is hit.
+        """
+        alive = np.ones(n, dtype=bool)
+        if self.spec.min_activities == 0 and not self.spec.require_candidates:
+            # Every user passes a zero threshold on round one.
+            return alive
+        flat_recv, recv_offsets = self._survey_receivers(n)
+        if self.spec.require_candidates:
+            cand_flat, cand_offsets = self._candidate_csr(n)
+        for _ in range(_MAX_FILTER_ROUNDS):
+            counts = self._segment_counts(alive[flat_recv], recv_offsets)
+            keep = alive & (counts >= self.spec.min_activities)
+            if self.spec.require_candidates:
+                cand_alive = self._segment_counts(
+                    alive[cand_flat], cand_offsets
+                )
+                keep &= cand_alive > 0
+            if bool(np.array_equal(keep, alive)):
+                break
+            alive = keep
+        return alive
+
+    # -- shard access ----------------------------------------------------
+
+    @property
+    def survivors(self) -> Tuple[UserId, ...]:
+        """All users surviving the filter, sorted ascending."""
+        return self._survivors
+
+    def __len__(self) -> int:
+        return self.num_shards
+
+    def __iter__(self) -> Iterator[Dataset]:
+        for shard in range(self.num_shards):
+            yield self.shard(shard)
+
+    def shard_users(self, shard: int) -> Tuple[UserId, ...]:
+        """The cohort slice owned by ``shard`` (contiguous, near-equal)."""
+        if not 0 <= shard < self.num_shards:
+            raise IndexError(
+                f"shard {shard} out of range 0..{self.num_shards - 1}"
+            )
+        n = len(self._survivors)
+        lo = shard * n // self.num_shards
+        hi = (shard + 1) * n // self.num_shards
+        return self._survivors[lo:hi]
+
+    def shard_fingerprint(self, shard: int) -> str:
+        """Content address of one shard (composes with ``SweepCache``)."""
+        return hashlib.sha256(
+            canonical_key_bytes(
+                "shard", self.spec.fingerprint(), shard, self.num_shards
+            )
+        ).hexdigest()
+
+    def shard(self, shard: int) -> Dataset:
+        """Materialise shard ``shard`` as a self-contained dataset.
+
+        The shard graph is the induced subgraph on the cohort plus every
+        cohort user's surviving replica candidates, so cohort candidate
+        sets are exact.  The shard trace regenerates each covered user's
+        activities from his per-user stream (full-graph partner list)
+        and keeps those whose receiver survived the filter — the same
+        activities, bit for bit, that the eager generate-then-filter
+        pipeline retains for those creators.
+        """
+        cohort = self.shard_users(shard)
+        closure = set(cohort)
+        for user in cohort:
+            for candidate in self.graph.replica_candidates(user):
+                if self._alive[candidate]:
+                    closure.add(int(candidate))
+        subgraph = self.graph.subgraph(closure)
+        activities = []
+        for creator in sorted(closure):
+            for act in user_activities(
+                self._partners(creator), self.params, self.spec.seed, creator
+            ):
+                if self._alive[act.receiver]:
+                    activities.append(act)
+        dataset = Dataset(
+            name=(
+                f"synthetic-{self.spec.kind}-{self.spec.num_users}"
+                f"-shard{shard}of{self.num_shards}"
+            ),
+            kind=self.spec.kind,
+            graph=subgraph,
+            trace=ActivityTrace(activities),
+            notes=(
+                f"shard {shard}/{self.num_shards} of sharded synthetic "
+                f"dataset (seed={self.spec.seed}, "
+                f"min_activities={self.spec.min_activities})"
+            ),
+        )
+        # Pre-stamp the content fingerprint the sweep cache would
+        # otherwise compute by hashing every edge and activity: shards
+        # are pure functions of (spec, shard, num_shards).
+        dataset._repro_content_fingerprint = self.shard_fingerprint(shard)
+        return dataset

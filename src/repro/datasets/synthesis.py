@@ -16,8 +16,19 @@ algorithms actually consume:
   friends (Zipf over a random per-user ranking) — this is what gives the
   MostActive policy its signal.
 
-Everything is driven by one :class:`random.Random` instance, so a dataset
-is a pure function of ``(params, seed)``.
+Randomness is organised as **one independent stream per user**: user
+``u``'s activities draw from ``derive_rng(seed, "synthesis", u)``
+(:mod:`repro.seeding`), so a trace is a pure function of
+``(graph, params, seed)`` *per user* — any subset of users can be
+materialised on demand, in any order, in any process, without replaying
+the streams of the users before them.  That property is what the sharded
+dataset path (:mod:`repro.datasets.sharding`) is built on.
+
+.. note::
+   Stream layout v2 (``STREAM_VERSION = 2``) replaced the original
+   single-``random.Random`` sequential generator.  Traces generated under
+   v2 differ from v1 traces for the same seed; the v2 streams are pinned
+   as canonical by ``tests/datasets/test_synthesis.py``.
 """
 
 from __future__ import annotations
@@ -25,11 +36,26 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.datasets.schema import Activity, ActivityTrace
 from repro.graph.social_graph import FollowerGraph, SocialGraph, UserId
+from repro.seeding import derive_rng
 from repro.timeline.day import DAY_SECONDS, HOUR_SECONDS
+
+#: Version of the per-user RNG stream layout.  Bump whenever the draw
+#: order or the stream derivation changes — cache fingerprints include it
+#: so stale sweep-cache entries can never alias across layouts.
+STREAM_VERSION = 2
+
+#: Salt separating synthesis streams from the other per-user streams
+#: (online-time schedules use ``derive_rng(seed, user)``, placement
+#: policies use ``derive_rng(seed, policy, user)``).
+_STREAM_SALT = "synthesis"
+
+#: Tolerance for mixture weights summing to 1.0 (components are often
+#: written as short decimals whose sum drifts off 1.0, e.g. 3 × 0.333333).
+_WEIGHT_SUM_TOLERANCE = 1e-4
 
 
 @dataclass(frozen=True)
@@ -40,6 +66,11 @@ class DiurnalMixture:
     is assigned one component and a personal peak jittered around the
     component's.  The default mixture is evening-heavy with afternoon and
     late-night minorities, the shape reported for Facebook/Twitter usage.
+
+    Weights must be positive and sum to 1.0 within a small tolerance;
+    they are renormalised internally, so a mixture written as
+    ``(0.333, 0.333, 0.333)``-style short decimals selects its last
+    component with its true share rather than only on float fall-through.
     """
 
     components: Tuple[Tuple[float, float, float], ...] = (
@@ -48,16 +79,42 @@ class DiurnalMixture:
         (0.15, 0.5 * HOUR_SECONDS, 2.0 * HOUR_SECONDS),  # night owls
     )
 
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("mixture needs at least one component")
+        total = 0.0
+        for weight, _peak, std in self.components:
+            if weight <= 0.0:
+                raise ValueError(
+                    f"mixture weights must be positive, got {weight}"
+                )
+            if std < 0.0:
+                raise ValueError(f"mixture std must be >= 0, got {std}")
+            total += weight
+        if abs(total - 1.0) > _WEIGHT_SUM_TOLERANCE:
+            raise ValueError(
+                f"mixture weights must sum to ~1.0, got {total!r}"
+            )
+        # Normalised cumulative weights with the last bucket pinned to
+        # exactly 1.0, so draw_peak can never fall off the end no matter
+        # how the partial sums round.
+        acc = 0.0
+        cumulative = []
+        for weight, _peak, _std in self.components:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        object.__setattr__(self, "_cumulative", tuple(cumulative))
+
     def draw_peak(self, rng: random.Random) -> float:
         """A personal peak second-of-day for one user."""
         r = rng.random()
-        acc = 0.0
-        for weight, peak, std in self.components:
-            acc += weight
-            if r <= acc:
+        for cum, (_weight, peak, std) in zip(
+            self._cumulative, self.components
+        ):
+            if r <= cum:
                 return (rng.gauss(peak, std)) % DAY_SECONDS
-        weight, peak, std = self.components[-1]
-        return (rng.gauss(peak, std)) % DAY_SECONDS
+        raise AssertionError("unreachable: cumulative weights end at 1.0")
 
 
 @dataclass(frozen=True)
@@ -86,12 +143,26 @@ class TraceParams:
             raise ValueError("partner_zipf_alpha must be >= 0")
 
 
+def user_stream(seed: int, user: UserId) -> random.Random:
+    """The independent synthesis RNG stream of one user.
+
+    Derived via :func:`repro.seeding.derive_seed` from
+    ``(seed, "synthesis", user)`` — stable across processes, platforms
+    and ``PYTHONHASHSEED``, and independent of every other user's stream.
+    """
+    if not isinstance(seed, int):
+        raise TypeError(
+            "synthesis seed must be an int (stream-per-user layout); "
+            f"got {type(seed).__name__}"
+        )
+    return derive_rng(seed, _STREAM_SALT, user)
+
+
 def _draw_activity_count(params: TraceParams, rng: random.Random) -> int:
     """Lognormal count with the configured mean (>= 1)."""
     sigma = params.activities_sigma
     mu = math.log(params.activities_mean) - sigma * sigma / 2.0
     return max(1, round(rng.lognormvariate(mu, sigma)))
-
 
 def _zipf_partner_weights(
     partners: Sequence[UserId], alpha: float, rng: random.Random
@@ -111,41 +182,99 @@ def _draw_timestamp(
     return day * DAY_SECONDS + tod
 
 
+def user_receivers(
+    partners: Sequence[UserId],
+    params: TraceParams,
+    seed: int,
+    user: UserId,
+) -> List[UserId]:
+    """The receiver list of one user's activities, without timestamps.
+
+    Consumes a prefix of the user's stream (peak, ranking, count,
+    receivers); :func:`user_activities` continues the *same* stream with
+    the timestamps, so the receivers returned here are exactly those of
+    the full activity list.  The sharded dataset's survey pass uses this
+    to run the activity filter without materialising timestamps.
+    """
+    if not partners:
+        return []
+    rng = user_stream(seed, user)
+    params.mixture.draw_peak(rng)
+    ranked, weights = _zipf_partner_weights(
+        partners, params.partner_zipf_alpha, rng
+    )
+    count = _draw_activity_count(params, rng)
+    return rng.choices(ranked, weights=weights, k=count)
+
+
+def user_activities(
+    partners: Sequence[UserId],
+    params: TraceParams,
+    seed: int,
+    user: UserId,
+) -> List[Activity]:
+    """All activities created by one user, from the user's own stream.
+
+    ``partners`` must be the user's *full* sorted partner list in the
+    source graph (friends for wall traces, followees for tweet traces) —
+    the stream layout depends on it, so filtering partners changes the
+    trace.  Filter activities afterwards instead (as
+    :func:`repro.datasets.filters.filter_dataset` does).
+    """
+    if not partners:
+        return []
+    rng = user_stream(seed, user)
+    peak = params.mixture.draw_peak(rng)
+    ranked, weights = _zipf_partner_weights(
+        partners, params.partner_zipf_alpha, rng
+    )
+    count = _draw_activity_count(params, rng)
+    receivers = rng.choices(ranked, weights=weights, k=count)
+    return [
+        Activity(
+            timestamp=_draw_timestamp(peak, params, rng),
+            creator=user,
+            receiver=receiver,
+        )
+        for receiver in receivers
+    ]
+
+
 def synthesize_wall_trace(
-    graph: SocialGraph, params: TraceParams, rng: random.Random
+    graph: SocialGraph,
+    params: TraceParams,
+    seed: int,
+    *,
+    users: Optional[Iterable[UserId]] = None,
 ) -> ActivityTrace:
     """Facebook-style trace: each user posts on his friends' walls.
 
     Every activity created by ``u`` lands on the wall of a friend chosen
     from ``u``'s Zipf-ranked favourites; users without friends create
     nothing (they fall to the activity filter, as in the real pipeline).
+
+    ``users`` restricts generation to a subset (default: all graph
+    users); because every user has an independent stream, the subset's
+    activities are bit-identical to their slice of the full trace.
     """
+    if users is None:
+        users = graph.users()
     activities: List[Activity] = []
-    peaks: Dict[UserId, float] = {
-        u: params.mixture.draw_peak(rng) for u in graph.users()
-    }
-    for user in graph.users():
-        friends = sorted(graph.neighbors(user))
-        if not friends:
-            continue
-        ranked, weights = _zipf_partner_weights(
-            friends, params.partner_zipf_alpha, rng
-        )
-        count = _draw_activity_count(params, rng)
-        receivers = rng.choices(ranked, weights=weights, k=count)
-        for receiver in receivers:
-            activities.append(
-                Activity(
-                    timestamp=_draw_timestamp(peaks[user], params, rng),
-                    creator=user,
-                    receiver=receiver,
-                )
+    for user in users:
+        activities.extend(
+            user_activities(
+                sorted(graph.neighbors(user)), params, seed, user
             )
+        )
     return ActivityTrace(activities)
 
 
 def synthesize_tweet_trace(
-    graph: FollowerGraph, params: TraceParams, rng: random.Random
+    graph: FollowerGraph,
+    params: TraceParams,
+    seed: int,
+    *,
+    users: Optional[Iterable[UserId]] = None,
 ) -> ActivityTrace:
     """Twitter-style trace: directed tweets (mentions/replies).
 
@@ -155,25 +284,13 @@ def synthesize_tweet_trace(
     the MostActive ranking expect.  Users following nobody tweet into the
     void and are skipped (they fall to the activity filter).
     """
+    if users is None:
+        users = graph.users()
     activities: List[Activity] = []
-    peaks: Dict[UserId, float] = {
-        u: params.mixture.draw_peak(rng) for u in graph.users()
-    }
-    for user in graph.users():
-        followees = sorted(graph.followees(user))
-        if not followees:
-            continue
-        ranked, weights = _zipf_partner_weights(
-            followees, params.partner_zipf_alpha, rng
-        )
-        count = _draw_activity_count(params, rng)
-        receivers = rng.choices(ranked, weights=weights, k=count)
-        for receiver in receivers:
-            activities.append(
-                Activity(
-                    timestamp=_draw_timestamp(peaks[user], params, rng),
-                    creator=user,
-                    receiver=receiver,
-                )
+    for user in users:
+        activities.extend(
+            user_activities(
+                sorted(graph.followees(user)), params, seed, user
             )
+        )
     return ActivityTrace(activities)

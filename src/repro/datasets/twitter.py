@@ -91,18 +91,23 @@ def synthetic_twitter(
     params: Optional[TraceParams] = None,
     min_activities: int = 10,
     degree_alpha: float = _DEGREE_ALPHA,
+    max_degree: Optional[int] = None,
 ) -> Dataset:
     """Build a synthetic Twitter-like dataset and run the paper's filter.
 
     The follower graph has a heavy-tailed follower distribution; tweets are
     directed at followees over the trace's two-week window, so a user's
     received activity is created by his followers (his replica candidates).
+    ``max_degree`` caps the follower-count support (``None`` keeps the
+    generator's default).
     """
     rng = random.Random(seed)
     if params is None:
         params = TraceParams(trace_days=14, activities_mean=30.0)
-    graph = powerlaw_follower_graph(num_users, degree_alpha, rng)
-    trace = synthesize_tweet_trace(graph, params, rng)
+    graph = powerlaw_follower_graph(
+        num_users, degree_alpha, rng, max_followers=max_degree
+    )
+    trace = synthesize_tweet_trace(graph, params, seed)
     dataset = Dataset(
         name=f"synthetic-twitter-{num_users}",
         kind="twitter",

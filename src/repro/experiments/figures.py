@@ -122,6 +122,7 @@ def _panel_sweep(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> None:
     """Run the degree sweep for each panel model and add one table each.
 
@@ -146,6 +147,7 @@ def _panel_sweep(
             engine=engine,
             backend=backend,
             cache=cache,
+            shards=shards,
         )
         rows = []
         for i, k in enumerate(DEGREES):
@@ -190,6 +192,7 @@ def table1_dataset_stats(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """§IV-A in-text dataset statistics, measured vs paper."""
     result = ExperimentResult(
@@ -248,6 +251,7 @@ def fig2_degree_distribution(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """Fig. 2: user degree distribution of both datasets."""
     result = ExperimentResult(
@@ -287,6 +291,7 @@ def fig3_fb_conrep_availability(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig3",
@@ -310,6 +315,7 @@ def fig3_fb_conrep_availability(
         engine=engine,
         backend=backend,
         cache=cache,
+        shards=shards,
     )
     return result
 
@@ -321,6 +327,7 @@ def fig4_fb_unconrep_availability(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig4",
@@ -349,6 +356,7 @@ def fig4_fb_unconrep_availability(
         engine=engine,
         backend=backend,
         cache=cache,
+        shards=shards,
     )
     return result
 
@@ -360,6 +368,7 @@ def fig5_fb_conrep_aod_time(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig5",
@@ -383,6 +392,7 @@ def fig5_fb_conrep_aod_time(
         engine=engine,
         backend=backend,
         cache=cache,
+        shards=shards,
     )
     return result
 
@@ -394,6 +404,7 @@ def fig6_fb_conrep_aod_activity(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig6",
@@ -417,6 +428,7 @@ def fig6_fb_conrep_aod_activity(
         engine=engine,
         backend=backend,
         cache=cache,
+        shards=shards,
     )
     return result
 
@@ -428,6 +440,7 @@ def fig7_fb_conrep_delay(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig7",
@@ -451,6 +464,7 @@ def fig7_fb_conrep_delay(
         engine=engine,
         backend=backend,
         cache=cache,
+        shards=shards,
     )
     return result
 
@@ -462,6 +476,7 @@ def fig8_session_length(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig8",
@@ -490,6 +505,7 @@ def fig8_session_length(
         engine=engine,
         backend=backend,
         cache=cache,
+        shards=shards,
     )
     for metric, label in _METRIC_LABELS.items():
         rows = []
@@ -523,6 +539,7 @@ def fig9_user_degree(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig9",
@@ -553,6 +570,7 @@ def fig9_user_degree(
         engine=engine,
         backend=backend,
         cache=cache,
+        shards=shards,
     )
 
     def row_of(metric):
@@ -609,6 +627,7 @@ def fig10_tw_conrep_availability(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig10",
@@ -629,6 +648,7 @@ def fig10_tw_conrep_availability(
         engine=engine,
         backend=backend,
         cache=cache,
+        shards=shards,
     )
     return result
 
@@ -640,6 +660,7 @@ def fig11_tw_conrep_aod_time(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig11",
@@ -664,6 +685,7 @@ def fig11_tw_conrep_aod_time(
         engine=engine,
         backend=backend,
         cache=cache,
+        shards=shards,
     )
     return result
 
@@ -680,6 +702,7 @@ def x1_des_validation(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """Replay a placed cohort in the discrete-event simulator and compare
     the empirical measurements against the closed-form metrics."""
@@ -784,6 +807,7 @@ def x2_expected_unexpected(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """§IV-B: the expected/unexpected split of profile activity.
 
@@ -872,6 +896,7 @@ def x3_observed_vs_actual_delay(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """§II-C3: the observed propagation delay vs the actual one.
 
@@ -935,6 +960,7 @@ def x4_hosting_fairness(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """§II-B1: fairness of the hosting load across the whole network.
 
@@ -1015,6 +1041,7 @@ def x5_owner_notification(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """§II requirement: the owner should receive updates on his profile
     even when they arrive while he is offline.
@@ -1131,6 +1158,7 @@ def run_experiment(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """Run one experiment by id at the given scale.
 
@@ -1146,7 +1174,11 @@ def run_experiment(
     bit-identical either way).  ``cache`` (a
     :class:`repro.cache.SweepCache`) lets experiments share their degree
     sweeps by content address; cached results are bit-identical to
-    recomputed ones.  Phase wall-clock/throughput timings — plus cache
+    recomputed ones.  ``shards`` splits each sweep's cohort into that
+    many contiguous slices dispatched one slice at a time, bounding how
+    much per-user state is in flight at once — an execution knob like
+    ``jobs``/``engine``/``backend``, so results (and sweep-cache keys)
+    are bit-identical for every value.  Phase wall-clock/throughput timings — plus cache
     hit/miss and pool start/reuse counters when a shared ``cache`` /
     ``executor`` is threaded through — land in ``result.timings`` as
     *this experiment's* deltas and are serialised into the experiment's
@@ -1174,6 +1206,7 @@ def run_experiment(
             engine=engine,
             backend=backend,
             cache=cache,
+            shards=shards,
         )
     finally:
         if owns_executor:
@@ -1183,6 +1216,7 @@ def run_experiment(
         "jobs": executor.effective_jobs,
         "engine": engine,
         "backend": backend,
+        "shards": shards,
         "phases": executor.timings_since(timing_mark),
         "pool": executor.pool_stats.since(pool_mark),
     }

@@ -231,6 +231,7 @@ def summarize_batch(
     jobs: int,
     engine: str,
     backend: str,
+    shards: int = 1,
     cache: Optional[SweepCache] = None,
     executor: Optional[ParallelExecutor] = None,
     skipped: Optional[List[str]] = None,
@@ -264,6 +265,7 @@ def summarize_batch(
         "jobs": jobs,
         "engine": engine,
         "backend": backend,
+        "shards": shards,
         "num_experiments": len(results),
         "total_seconds": round(
             sum(r.timings.get("total_seconds", 0.0) for r in results), 6
@@ -355,6 +357,7 @@ def run_batch(
     jobs: int = 1,
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
+    shards: int = 1,
     cache: Optional[SweepCache] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     use_cache: bool = True,
@@ -372,7 +375,9 @@ def run_batch(
     selects the sweep evaluation path (``"incremental"`` default,
     ``"naive"`` reference — same output either way); ``backend`` selects
     the timeline kernels (``"python"`` default, ``"numpy"`` vectorised —
-    same output either way).
+    same output either way); ``shards`` splits each sweep cohort into
+    contiguous slices dispatched one at a time (again bit-identical —
+    a memory knob, not a semantic one).
 
     One :class:`~repro.cache.SweepCache` spans the whole batch (pass
     ``cache`` to share one across batches, ``cache_dir`` for the
@@ -440,6 +445,7 @@ def run_batch(
                     engine=engine,
                     backend=backend,
                     cache=cache,
+                    shards=shards,
                 )
             except BaseException:
                 journal.mark(eid, FAILED)
@@ -463,6 +469,7 @@ def run_batch(
             jobs=jobs,
             engine=engine,
             backend=backend,
+            shards=shards,
             cache=cache,
             executor=executor,
             skipped=skipped,

@@ -46,6 +46,7 @@ from repro.parallel.worker import (
     PlacementPayload,
     SweepPayload,
     evaluate_users_chunk,
+    packed_token,
     select_sequences_chunk,
 )
 
@@ -72,6 +73,7 @@ __all__ = [
     "evaluate_users_chunk",
     "fork_available",
     "is_quarantined",
+    "packed_token",
     "payload_fingerprint",
     "resolve_jobs",
     "select_sequences_chunk",

@@ -296,13 +296,24 @@ class ParallelExecutor:
     def __del__(self) -> None:
         try:
             self.close()
-        except Exception:
+        except BaseException:
             pass  # interpreter teardown: nothing sensible left to do
 
     def close(self) -> None:
-        """Shut the persistent pool down gracefully (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        """Shut the persistent pool down gracefully (idempotent).
+
+        Safe during interpreter shutdown: a ``__del__``-triggered close
+        can run after module globals (including ``concurrent.futures``
+        internals) were torn down, where attribute access and calls
+        raise ``AttributeError``/``TypeError`` — those are swallowed so
+        a leaked executor never prints teardown noise.
+        """
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True)
+            except (AttributeError, TypeError):
+                pass  # shutdown raced interpreter teardown
         self._pool = None
         self._pool_key = None
         self._pool_payload = None

@@ -41,6 +41,22 @@ from repro.timeline.packed import PYTHON, PackedSchedules
 UserCell = Dict[str, Tuple[UserMetrics, ...]]
 
 
+def packed_token(packed: Optional[PackedSchedules]) -> object:
+    """Fingerprint component identifying a payload's packed schedules.
+
+    Shared-memory packings are identified by their OS-level block name —
+    stable across pickling, so a payload rebuilt around the same block
+    (e.g. after a worker respawn) still matches its pool.  Heap-backed
+    packings fall back to object identity, as before.
+    """
+    if packed is None:
+        return None
+    name = getattr(packed, "shared_name", None)
+    if name is not None:
+        return ("shm", name)
+    return ("packed", id(packed))
+
+
 @dataclass(frozen=True)
 class SweepPayload:
     """Shared read-only context for one repeat of a degree sweep."""
@@ -83,7 +99,7 @@ class SweepPayload:
             self.seed,
             self.engine,
             self.backend,
-            id(self.packed) if self.packed is not None else None,
+            packed_token(self.packed),
         )
 
 
@@ -186,7 +202,7 @@ class PlacementPayload:
             self.max_degree,
             self.seed,
             self.backend,
-            id(self.packed) if self.packed is not None else None,
+            packed_token(self.packed),
         )
 
 

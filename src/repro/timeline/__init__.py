@@ -30,6 +30,7 @@ from repro.timeline.packed import (
     creator_online_flags,
     endpoints_integral,
 )
+from repro.timeline.shared import SharedPackedSchedules
 
 __all__ = [
     "BACKENDS",
@@ -43,6 +44,7 @@ __all__ = [
     "IntervalSet",
     "MinuteGrid",
     "PackedSchedules",
+    "SharedPackedSchedules",
     "batch_contains",
     "batch_wait_until",
     "check_backend",

@@ -44,6 +44,7 @@ is bit-identical to ``backend="python"`` unconditionally.
 from __future__ import annotations
 
 import math
+import sys
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -163,7 +164,15 @@ class PackedSchedules:
             and np.all(starts == np.floor(starts))
             and np.all(ends == np.floor(ends))
         )
-        self._index: Dict[UserId, int] = {u: i for i, u in enumerate(users)}
+        # user -> row map, built on first lookup: a process that only
+        # runs whole-row kernels (or attaches to a shared block) never
+        # pays for the dict.
+        self._index: Optional[Dict[UserId, int]] = None
+
+    def _index_map(self) -> Dict[UserId, int]:
+        if self._index is None:
+            self._index = {int(u): i for i, u in enumerate(self.users)}
+        return self._index
 
     @classmethod
     def from_schedules(
@@ -194,21 +203,36 @@ class PackedSchedules:
 
     @property
     def nbytes(self) -> int:
-        """Memory held by the packed arrays (observability rollups)."""
-        return (
+        """Memory held by *all* owned buffers (observability rollups).
+
+        Covers the five packed arrays plus the user-id container and the
+        lazily built user→row index — the structures a copied-per-worker
+        instance actually duplicates, which is what the attached-vs-copied
+        RSS accounting of the scale benchmark compares against.
+        """
+        total = (
             self.starts.nbytes
             + self.ends.nbytes
             + self.offsets.nbytes
             + self.lengths.nbytes
             + self.measures.nbytes
         )
+        if isinstance(self.users, np.ndarray):
+            total += self.users.nbytes
+        else:
+            total += sys.getsizeof(self.users) + sum(
+                sys.getsizeof(u) for u in self.users
+            )
+        if self._index is not None:
+            total += sys.getsizeof(self._index)
+        return total
 
     def __len__(self) -> int:
         return len(self.users)
 
     def row_index(self, user: UserId) -> int:
         """Row of ``user``, or ``-1`` for users packed as never online."""
-        return self._index.get(user, -1)
+        return self._index_map().get(user, -1)
 
     def row_slice(self, user: UserId) -> Tuple[np.ndarray, np.ndarray]:
         """One user's (starts, ends) views (empty for unknown users)."""
@@ -223,11 +247,12 @@ class PackedSchedules:
         self, users: Sequence[UserId]
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Flattened (starts, ends, per-user counts) for a user subset."""
-        if not self.users:  # offsets is just [0]; every lookup misses
+        if not len(self.users):  # offsets is just [0]; every lookup misses
             empty = np.empty(0, dtype=np.float64)
             return empty, empty, np.zeros(len(users), dtype=np.int64)
+        index = self._index_map()
         rows = np.fromiter(
-            (self._index.get(u, -1) for u in users),
+            (index.get(u, -1) for u in users),
             dtype=np.int64,
             count=len(users),
         )

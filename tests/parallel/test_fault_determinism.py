@@ -36,7 +36,7 @@ def _dataset():
 @functools.lru_cache(maxsize=8)
 def _baseline(engine="incremental", backend="python", drop_user=None):
     ds = _dataset()
-    users = select_cohort(ds, 8, max_users=10)
+    users = select_cohort(ds, 6, max_users=10)
     if drop_user is not None:
         users = [u for u in users if u != drop_user]
     return _sweep(None, users=users, engine=engine, backend=backend)
@@ -45,7 +45,7 @@ def _baseline(engine="incremental", backend="python", drop_user=None):
 def _sweep(executor, *, users=None, engine="incremental", backend="python"):
     ds = _dataset()
     if users is None:
-        users = select_cohort(ds, 8, max_users=10)
+        users = select_cohort(ds, 6, max_users=10)
     return sweep_replication_degree(
         ds,
         SporadicModel(),
@@ -59,7 +59,7 @@ def _sweep(executor, *, users=None, engine="incremental", backend="python"):
 
 
 def _cohort():
-    return select_cohort(_dataset(), 8, max_users=10)
+    return select_cohort(_dataset(), 6, max_users=10)
 
 
 @needs_fork

@@ -59,6 +59,23 @@ class TestParser:
         assert args.chunk_timeout == 2.5
         assert args.retry_attempts == 5
 
+    def test_shards_flag_parses(self):
+        assert build_parser().parse_args(["run", "fig3"]).shards == 1
+        assert (
+            build_parser()
+            .parse_args(["run", "fig3", "--shards", "4"])
+            .shards
+            == 4
+        )
+        assert (
+            build_parser().parse_args(["batch", "out", "--shards", "8"]).shards
+            == 8
+        )
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--shards", "0"])
+
     def test_chunk_timeout_must_be_positive(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig3", "--chunk-timeout", "0"])
