@@ -1,0 +1,23 @@
+"""Bench X6: sharded DES replay through the full replay pipeline."""
+
+from conftest import run_and_render
+
+
+def test_x6_scaled_replay(benchmark):
+    result = run_and_render(benchmark, "x6")
+    d = result.data
+    assert d["events_replayed"] > 0
+    assert d["shards"] >= 1
+    assert not d["cached"]
+    # MaxAv at k=3 puts every tracked profile well above a single owner's
+    # 8h/24h = 1/3 online share, and the replicated write/read paths
+    # track availability.
+    assert d["mean_availability"] > 0.4
+    assert 0.0 <= d["write_service_rate"] <= 1.0
+    assert 0.0 <= d["read_service_rate"] <= 1.0
+    assert d["write_service_rate"] > 0.4
+    # Anti-entropy over FixedLength-8h windows converges within hours,
+    # not days, and the replay horizon lets updates finish propagating.
+    assert 0.0 <= d["mean_propagation_delay_hours"] < 24.0
+    assert d["mean_read_staleness"] >= 0.0
+    assert d["incomplete_updates"] >= 0

@@ -12,6 +12,7 @@ exactly once and every consumer slices the identical floats.
 from repro.cache.keys import (
     CACHE_FORMAT_VERSION,
     dataset_fingerprint,
+    replay_cache_key,
     sweep_cache_key,
 )
 from repro.cache.store import CacheStats, SweepCache
@@ -21,5 +22,6 @@ __all__ = [
     "CacheStats",
     "SweepCache",
     "dataset_fingerprint",
+    "replay_cache_key",
     "sweep_cache_key",
 ]

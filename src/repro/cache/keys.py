@@ -67,6 +67,50 @@ def dataset_fingerprint(dataset: Dataset) -> str:
     return fingerprint
 
 
+def replay_cache_key(
+    dataset: Dataset,
+    model: OnlineTimeModel,
+    *,
+    seed: int,
+    config,
+    placements,
+    tracked_profiles: Sequence[UserId],
+) -> str:
+    """The content address of one DES trace replay's statistics.
+
+    Covers everything that determines the measured fields: the dataset
+    content, the online-time model and schedule seed, every knob of the
+    :class:`~repro.simulator.osn.ReplayConfig` (latency models enter via
+    their parameter-carrying ``cache_key()``), the placement map — with
+    each owner's replica *sequence* kept in order, because replica order
+    fixes store-creation order and thereby anti-entropy transfer and
+    latency-draw order — and the tracked cohort.  Execution knobs
+    (``jobs``, ``shards``, ``backend``) are deliberately excluded: the
+    sharded and vectorized paths are bit-identical to the serial scalar
+    oracle, so one entry serves every combination.
+    """
+    latency = config.latency
+    parts = (
+        "replay",
+        CACHE_FORMAT_VERSION,
+        dataset_fingerprint(dataset),
+        tuple(model.cache_key()),
+        int(seed),
+        int(config.days),
+        float(config.sample_every),
+        bool(config.use_cdn),
+        bool(config.replay_reads),
+        tuple(latency.cache_key()) if latency is not None else None,
+        int(config.latency_seed),
+        tuple(
+            (owner, tuple(placements[owner]))
+            for owner in sorted(placements)
+        ),
+        tuple(sorted(tracked_profiles)),
+    )
+    return hashlib.sha256(canonical_key_bytes(*parts)).hexdigest()
+
+
 def sweep_cache_key(
     dataset: Dataset,
     model: OnlineTimeModel,

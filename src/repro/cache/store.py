@@ -139,6 +139,9 @@ class SweepCache:
         self, cache_dir: Optional[Union[str, os.PathLike]] = None
     ):
         self._memory: Dict[str, Series] = {}
+        #: JSON-blob layer (DES replay outcomes and other non-series
+        #: results), sharing the key space and the hit/miss counters.
+        self._payloads: Dict[str, dict] = {}
         self.cache_dir: Optional[Path] = (
             Path(cache_dir) if cache_dir is not None else None
         )
@@ -173,6 +176,62 @@ class SweepCache:
         self.stats.stores += 1
         if self.cache_dir is not None:
             self._store_disk(key, series)
+
+    # -- JSON-payload layer (DES replay outcomes) ---------------------------
+
+    def get_payload(self, key: str) -> Optional[dict]:
+        """The stored JSON payload for ``key``, or ``None`` (a miss)."""
+        payload = self._payloads.get(key)
+        if payload is not None:
+            self.stats.hits += 1
+            return payload
+        payload = self._load_payload_disk(key)
+        if payload is not None:
+            self._payloads[key] = payload
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return payload
+        self.stats.misses += 1
+        return None
+
+    def put_payload(self, key: str, payload: dict) -> None:
+        """Store a JSON-serialisable payload (exact under round trips:
+        ints are ints, floats render by shortest round-trip repr)."""
+        self._payloads[key] = payload
+        self.stats.stores += 1
+        if self.cache_dir is not None:
+            blob = {
+                "format_version": CACHE_FORMAT_VERSION,
+                "key": key,
+                "payload": payload,
+            }
+            _atomic_write_bytes(
+                self._payload_path(key),
+                (json.dumps(blob, sort_keys=True) + "\n").encode("utf-8"),
+            )
+
+    def _payload_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.payload.json"
+
+    def _load_payload_disk(self, key: str) -> Optional[dict]:
+        if self.cache_dir is None:
+            return None
+        path = self._payload_path(key)
+        if not path.exists():
+            return None
+        try:
+            blob = json.loads(path.read_text(encoding="utf-8"))
+            if blob.get("format_version") != CACHE_FORMAT_VERSION:
+                raise ValueError("incompatible cache entry format")
+            payload = blob["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("malformed cache payload")
+            return payload
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # Torn, corrupted or out-of-date entries miss cleanly.
+            del exc
+            self.stats.stale += 1
+            return None
 
     # -- sweep-level interface (used by sweep_replication_degree) -----------
 

@@ -39,7 +39,7 @@ from repro.experiments import (
 )
 from repro.graph import write_graph
 from repro.onlinetime import make_model, compute_schedules
-from repro.simulator import DecentralizedOSN, ReplayConfig
+from repro.simulator import ReplayConfig
 
 
 def _build_dataset(kind: str, users: int, seed: int):
@@ -244,6 +244,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro.cache import SweepCache, replay_cache_key
+    from repro.onlinetime import packed_schedules
+    from repro.parallel import ParallelExecutor
+    from repro.simulator import replay_trace
+
     dataset = _build_dataset(args.dataset, args.users, args.seed)
     model = make_model(args.model)
     schedules = compute_schedules(dataset, model, seed=args.seed)
@@ -260,14 +267,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         max_degree=args.k,
         seed=args.seed,
     )
-    osn = DecentralizedOSN(
-        dataset,
-        schedules,
-        sequences,
-        config=ReplayConfig(days=args.days),
-        tracked_profiles=users,
+    config = ReplayConfig(days=args.days)
+    cache = cache_key = None
+    if args.cache_dir:
+        cache = SweepCache(cache_dir=args.cache_dir)
+        cache_key = replay_cache_key(
+            dataset,
+            model,
+            seed=args.seed,
+            config=config,
+            placements=sequences,
+            tracked_profiles=users,
+        )
+    packed = (
+        packed_schedules(dataset, model, seed=args.seed)
+        if args.backend == "numpy"
+        else None
     )
-    stats = osn.run()
+    start = perf_counter()
+    with ParallelExecutor(jobs=args.jobs) as executor:
+        outcome = replay_trace(
+            dataset,
+            schedules,
+            sequences,
+            config=config,
+            tracked_profiles=users,
+            backend=args.backend,
+            shards=args.shards,
+            executor=executor,
+            packed=packed,
+            cache=cache,
+            cache_key=cache_key,
+        )
+    elapsed = perf_counter() - start
+    stats = outcome.stats
     print(
         format_table(
             (
@@ -282,7 +315,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             [
                 (
                     len(users),
-                    osn.sim.events_executed,
+                    outcome.events_replayed,
                     round(stats.write_service_rate(), 3),
                     round(stats.read_service_rate(), 3),
                     round(stats.mean_propagation_delay_hours, 2),
@@ -291,6 +324,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 )
             ],
         )
+    )
+    rate = outcome.events_replayed / elapsed if elapsed > 0 else 0.0
+    source = "cache" if outcome.cached else f"{outcome.shards} shard(s)"
+    print(
+        f"[replay] backend={outcome.backend} jobs={args.jobs} "
+        f"via {source}: {outcome.events_replayed} events in "
+        f"{elapsed:.2f}s ({rate:,.0f} events/s)"
     )
     return 0
 
@@ -524,6 +564,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--cohort", type=int, default=20, help="max cohort size")
     p_sim.add_argument("--k", type=int, default=3, help="replication degree")
     p_sim.add_argument("--days", type=int, default=2)
+    p_sim.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help=(
+            "worker processes replaying shards in parallel "
+            "(1 = serial, 0 = all CPUs; results are identical for any "
+            "value)"
+        ),
+    )
+    p_sim.add_argument(
+        "--shards",
+        type=_shards_arg,
+        default=1,
+        help=(
+            "partition the tracked profiles into this many disjoint "
+            "replica-group cohorts replayed independently and merged "
+            "(results are bit-identical for any value)"
+        ),
+    )
+    p_sim.add_argument(
+        "--backend",
+        default="python",
+        choices=("python", "numpy"),
+        help=(
+            "replay engine: 'python' is the scalar DES oracle, 'numpy' "
+            "the vectorized packed-plane replay (identical measurements, "
+            "faster on large cohorts)"
+        ),
+    )
+    p_sim.add_argument(
+        "--cache-dir",
+        help=(
+            "directory for the persistent replay cache; outcomes are "
+            "content-addressed by dataset/model/config/placements, so "
+            "identical reruns load instead of replaying"
+        ),
+    )
     p_sim.set_defaults(fn=_cmd_simulate)
 
     return parser

@@ -224,3 +224,68 @@ def select_sequences_chunk(
     return [
         _sequence_for(sweep_like, payload.policy, user) for user in users
     ]
+
+
+@dataclass(frozen=True)
+class ReplayPayload:
+    """Shared read-only context for one sharded DES trace replay.
+
+    ``shard_owners`` — one tuple of profile owners per shard, disjoint
+    and jointly covering ``placements``; each shard replays only its
+    owners' replica groups (groups share no state and draw latencies
+    from per-profile RNG streams, so the partition is exact).  ``config``
+    is a :class:`~repro.simulator.osn.ReplayConfig` (typed loosely here:
+    this module stays import-light so pool workers resolve the simulator
+    lazily).
+    """
+
+    dataset: Dataset
+    schedules: Schedules
+    placements: Dict[UserId, Tuple[UserId, ...]]
+    config: object
+    shard_owners: Tuple[Tuple[UserId, ...], ...]
+    tracked: Optional[Tuple[UserId, ...]] = None
+    backend: str = PYTHON
+    packed: Optional[PackedSchedules] = None
+
+    def fingerprint(self) -> Tuple[object, ...]:
+        """Pool-reuse token (see :meth:`SweepPayload.fingerprint`).
+
+        The replay config enters by value — fresh-but-equal configs are
+        built per call — with the latency model identified by its
+        parameter-carrying ``describe()`` string.
+        """
+        config = self.config
+        latency = getattr(config, "latency", None)
+        return (
+            type(self).__qualname__,
+            id(self.dataset),
+            id(self.schedules),
+            id(self.placements),
+            self.shard_owners,
+            self.tracked,
+            (
+                config.days,
+                config.sample_every,
+                config.use_cdn,
+                config.replay_reads,
+                latency.describe() if latency is not None else None,
+                config.latency_seed,
+            ),
+            self.backend,
+            packed_token(self.packed),
+        )
+
+
+def replay_shards_chunk(
+    payload: ReplayPayload, shard_ids: Sequence[int]
+) -> List[Tuple[object, int]]:
+    """Replay each shard; one ``(SimulationStats, events)`` per shard.
+
+    The simulator import is deferred to the call so that this module —
+    imported by the simulator's own orchestration layer — never imports
+    the simulator package at module scope.
+    """
+    from repro.simulator.replay import replay_shard
+
+    return [replay_shard(payload, shard_id) for shard_id in shard_ids]

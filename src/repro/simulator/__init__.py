@@ -19,14 +19,26 @@ from repro.simulator.node import (
     PRIORITY_OFFLINE,
     PRIORITY_ONLINE,
     PeerNode,
+    day_transitions,
 )
-from repro.simulator.osn import DecentralizedOSN, ReplayConfig
+from repro.simulator.osn import (
+    DecentralizedOSN,
+    ReplayConfig,
+    finalize_replication_stats,
+    latency_rng,
+)
+from repro.simulator.replay import (
+    ReplayOutcome,
+    replay_trace,
+    shard_owners,
+)
 from repro.simulator.replication import (
     ProfileReplication,
     ReplicaStore,
     Update,
 )
 from repro.simulator.stats import Counter2, SimulationStats
+from repro.simulator.vectorized import VectorizedReplay
 
 __all__ = [
     "ConstantLatency",
@@ -41,10 +53,17 @@ __all__ = [
     "PeerNode",
     "ProfileReplication",
     "ReplayConfig",
+    "ReplayOutcome",
     "ReplicaStore",
     "SimulationError",
     "SimulationStats",
     "Simulator",
     "UniformLatency",
     "Update",
+    "VectorizedReplay",
+    "day_transitions",
+    "finalize_replication_stats",
+    "latency_rng",
+    "replay_trace",
+    "shard_owners",
 ]

@@ -15,16 +15,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
-
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    priority: int
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+#: Queue entries are plain ``(time, priority, seq, handle)`` tuples —
+#: ``seq`` is unique per entry, so comparisons never reach the handle.
+_QueueEntry = Tuple[float, int, int, "EventHandle"]
 
 
 class EventHandle:
@@ -93,8 +88,9 @@ class Simulator:
                 f"cannot schedule at {time} before now ({self._now})"
             )
         handle = EventHandle(fn, args)
-        entry = _QueueEntry(time, priority, next(self._counter), handle)
-        heapq.heappush(self._queue, entry)
+        heapq.heappush(
+            self._queue, (time, priority, next(self._counter), handle)
+        )
         return handle
 
     def schedule_in(
@@ -112,11 +108,11 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next non-cancelled event; False when queue is empty."""
         while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.handle.cancelled:
+            time, _priority, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
                 continue
-            self._now = entry.time
-            entry.handle.fn(*entry.handle.args)
+            self._now = time
+            handle.fn(*handle.args)
             self._events_executed += 1
             return True
         return False
@@ -129,10 +125,10 @@ class Simulator:
         executed = 0
         while self._queue:
             head = self._queue[0]
-            if head.handle.cancelled:
+            if head[3].cancelled:
                 heapq.heappop(self._queue)
                 continue
-            if until is not None and head.time > until:
+            if until is not None and head[0] > until:
                 break
             if max_events is not None and executed >= max_events:
                 break

@@ -27,6 +27,13 @@ class LatencyModel(ABC):
     def describe(self) -> str:
         return type(self).__name__
 
+    def cache_key(self) -> tuple:
+        """Canonical content-address part for replay cache keys.
+
+        ``describe()`` already encodes the model type and every
+        parameter, so it doubles as the key."""
+        return ("latency", self.describe())
+
 
 class NoLatency(LatencyModel):
     """Instantaneous transfer — the paper's implicit model."""

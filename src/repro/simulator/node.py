@@ -31,6 +31,22 @@ PRIORITY_DEFAULT = 0
 TransitionCallback = Callable[["PeerNode"], None]
 
 
+def day_transitions(schedule: IntervalSet, days: int, base_day: int = 0):
+    """Yield each ``(t_on, t_off)`` transition pair of ``days`` simulated
+    days (plus the wrap copy of day ``days``), in scheduling order.
+
+    This is the single definition of the absolute transition instants:
+    ``day * DAY_SECONDS + endpoint`` in this exact float arithmetic.
+    :meth:`PeerNode.attach` schedules kernel events from it and the
+    vectorized replay engine derives its event streams from the same
+    values, so both paths agree on every instant bit-for-bit.
+    """
+    for day in range(base_day, base_day + days + 1):
+        offset = day * DAY_SECONDS
+        for iv_start, iv_end in schedule.intervals:
+            yield offset + iv_start, offset + iv_end
+
+
 class PeerNode:
     """One user's machine in the decentralized OSN."""
 
@@ -67,25 +83,21 @@ class PeerNode:
         """
         start = sim.now
         base_day = int(start // DAY_SECONDS)
-        for day in range(base_day, base_day + days + 1):
-            offset = day * DAY_SECONDS
-            for iv_start, iv_end in self.schedule.intervals:
-                t_on = offset + iv_start
-                t_off = offset + iv_end
-                if t_off <= start:
-                    continue
-                if t_on >= start:
-                    sim.schedule_at(
-                        t_on, self._go_online, priority=PRIORITY_ONLINE
-                    )
-                elif not self.online:
-                    # Interval already in progress at attach time.
-                    sim.schedule_at(
-                        start, self._go_online, priority=PRIORITY_ONLINE
-                    )
+        for t_on, t_off in day_transitions(self.schedule, days, base_day):
+            if t_off <= start:
+                continue
+            if t_on >= start:
                 sim.schedule_at(
-                    t_off, self._go_offline, priority=PRIORITY_OFFLINE
+                    t_on, self._go_online, priority=PRIORITY_ONLINE
                 )
+            elif not self.online:
+                # Interval already in progress at attach time.
+                sim.schedule_at(
+                    start, self._go_online, priority=PRIORITY_ONLINE
+                )
+            sim.schedule_at(
+                t_off, self._go_offline, priority=PRIORITY_OFFLINE
+            )
 
     def _go_online(self) -> None:
         if self.online:

@@ -27,11 +27,22 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.datasets.schema import Activity, Dataset
 from repro.graph.social_graph import UserId
 from repro.onlinetime.base import Schedules
+from repro.seeding import derive_rng
 from repro.simulator.kernel import Simulator
 from repro.simulator.network import LatencyModel, NoLatency
 from repro.simulator.node import PRIORITY_DEFAULT, PeerNode
@@ -41,6 +52,73 @@ from repro.timeline.day import DAY_SECONDS, HOUR_SECONDS
 from repro.timeline.intervals import IntervalSet
 
 Placements = Mapping[UserId, Sequence[UserId]]
+
+
+def latency_rng(latency_seed: int, profile: UserId) -> random.Random:
+    """The latency-sampling RNG stream of one profile's replica group.
+
+    Derived via :func:`repro.seeding.derive_rng` — fixed SHA-256
+    derivation, never ``hash()`` — so draws are identical across
+    interpreters and ``PYTHONHASHSEED`` values.  One independent stream
+    per profile makes replica groups fully decoupled: a group's draw
+    sequence does not depend on which other groups exist or in what
+    order their transfers interleave, which is what lets sharded and
+    vectorized replay reproduce the scalar oracle bit-for-bit.
+    """
+    return derive_rng(latency_seed, "simulator", "latency", profile)
+
+
+def finalize_replication_stats(
+    stats: SimulationStats,
+    replication: Mapping[UserId, ProfileReplication],
+    tracked: Set[UserId],
+    schedule_of: Callable[[UserId], IntervalSet],
+) -> None:
+    """Derive propagation-delay and consistency statistics.
+
+    Shared by the scalar oracle and the vectorized engine so the
+    derived measurements are identical by construction.  Groups are
+    visited in sorted-profile order — the canonical ordering of
+    :class:`SimulationStats` — so shard-merged output matches a
+    whole-cohort pass bit-for-bit.
+    """
+    for profile in sorted(replication):
+        group = replication[profile]
+        is_tracked = profile in tracked
+        all_updates = {}
+        for store in group.stores.values():
+            for update in store.updates:
+                all_updates[update.uid] = update
+        owner_store = group.stores.get(profile)
+        for uid, update in all_updates.items():
+            if is_tracked and owner_store is not None:
+                owner_arrival = owner_store.arrival_times.get(uid)
+                if owner_arrival is None:
+                    stats.undelivered_to_owner += 1
+                else:
+                    stats.add_owner_delay(
+                        profile,
+                        (owner_arrival - update.created_at) / HOUR_SECONDS,
+                    )
+            done_at = group.full_replication_time(uid)
+            if done_at is None:
+                stats.incomplete_updates += 1
+                continue
+            if not is_tracked:
+                continue
+            delay = done_at - update.created_at
+            stats.add_propagation(profile, delay / HOUR_SECONDS)
+            for host, store in group.stores.items():
+                arrived = store.arrival_times.get(uid)
+                if arrived is None or arrived == update.created_at:
+                    continue
+                online_inside = schedule_of(host).measure_in_span(
+                    update.created_at, arrived
+                )
+                stats.add_observed(profile, online_inside / HOUR_SECONDS)
+        stats.tracked_profiles += 1
+        if group.is_consistent():
+            stats.consistent_profiles += 1
 
 
 @dataclass(frozen=True)
@@ -90,7 +168,8 @@ class DecentralizedOSN:
         self.stats = SimulationStats()
         self._latency = config.latency or NoLatency()
         self._instant = isinstance(self._latency, NoLatency)
-        self._net_rng = random.Random(config.latency_seed)
+        #: Per-profile latency RNG streams, derived lazily on first send.
+        self._net_rngs: Dict[UserId, random.Random] = {}
         #: Updates created so far per profile (read-staleness baseline).
         self.created_updates: Dict[UserId, int] = {}
 
@@ -157,8 +236,8 @@ class DecentralizedOSN:
                 if online:
                     best = max(online, key=lambda h: len(group.store_of(h)))
                     created = self.created_updates.get(profile, 0)
-                    self.stats.read_staleness.append(
-                        created - len(group.store_of(best))
+                    self.stats.add_staleness(
+                        profile, created - len(group.store_of(best))
                     )
 
     def _sync_hosts(self, group: ProfileReplication, a: UserId, b: UserId) -> None:
@@ -176,7 +255,11 @@ class DecentralizedOSN:
     def _send(
         self, group: ProfileReplication, src: UserId, dst: UserId, update: Update
     ) -> None:
-        delay = self._latency.sample(self._net_rng)
+        rng = self._net_rngs.get(group.profile)
+        if rng is None:
+            rng = latency_rng(self.config.latency_seed, group.profile)
+            self._net_rngs[group.profile] = rng
+        delay = self._latency.sample(rng)
         self.sim.schedule_in(
             delay, self._deliver, group, dst, update, priority=PRIORITY_DEFAULT
         )
@@ -277,41 +360,9 @@ class DecentralizedOSN:
 
     def _finalize(self) -> None:
         """Derive propagation-delay and consistency statistics."""
-        stats = self.stats
-        for group in self.replication.values():
-            tracked = group.profile in self._tracked
-            all_updates = {}
-            for store in group.stores.values():
-                for update in store.updates:
-                    all_updates[update.uid] = update
-            owner_store = group.stores.get(group.profile)
-            for uid, update in all_updates.items():
-                if tracked and owner_store is not None:
-                    owner_arrival = owner_store.arrival_times.get(uid)
-                    if owner_arrival is None:
-                        stats.undelivered_to_owner += 1
-                    else:
-                        stats.owner_delivery_delays_hours.append(
-                            (owner_arrival - update.created_at) / HOUR_SECONDS
-                        )
-                done_at = group.full_replication_time(uid)
-                if done_at is None:
-                    stats.incomplete_updates += 1
-                    continue
-                if not tracked:
-                    continue
-                delay = done_at - update.created_at
-                stats.propagation_delays_hours.append(delay / HOUR_SECONDS)
-                for host, store in group.stores.items():
-                    arrived = store.arrival_times.get(uid)
-                    if arrived is None or arrived == update.created_at:
-                        continue
-                    online_inside = self.nodes[host].schedule.measure_in_span(
-                        update.created_at, arrived
-                    )
-                    stats.observed_delays_hours.append(
-                        online_inside / HOUR_SECONDS
-                    )
-            stats.tracked_profiles += 1
-            if group.is_consistent():
-                stats.consistent_profiles += 1
+        finalize_replication_stats(
+            self.stats,
+            self.replication,
+            self._tracked,
+            lambda host: self.nodes[host].schedule,
+        )

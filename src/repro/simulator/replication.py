@@ -101,11 +101,13 @@ class ProfileReplication:
         self.stores: Dict[UserId, ReplicaStore] = {
             host: ReplicaStore(profile, host) for host in hosts
         }
+        self._hosts_sorted = sorted(self.stores)
         self._seq = itertools.count(1)
 
     @property
     def hosts(self) -> List[UserId]:
-        return sorted(self.stores)
+        """Hosts in sorted order (membership is fixed at construction)."""
+        return self._hosts_sorted
 
     def next_seq(self) -> int:
         return next(self._seq)

@@ -1,0 +1,283 @@
+"""The replay cache: content addresses, JSON-payload layer, composition.
+
+Three layers under test:
+
+1. :func:`replay_cache_key` — every semantic input perturbs the address
+   (including replica *order* inside a placement, which fixes the
+   store-creation and latency-draw order), while the execution knobs
+   (jobs / shards / backend) are deliberately absent.
+2. The :class:`SweepCache` JSON-payload layer (``get_payload`` /
+   ``put_payload``) — memory and disk hits, exact round trips, and
+   corrupt / torn / out-of-date entries missing cleanly as stale.
+3. :func:`replay_trace` composition — a hit skips the replay entirely
+   and hands back bit-identical statistics to any backend/shard caller.
+"""
+
+import json
+
+import pytest
+
+from repro.cache import SweepCache, replay_cache_key
+from repro.datasets import synthetic_facebook
+from repro.onlinetime import FixedLengthModel, SporadicModel, compute_schedules
+from repro.simulator import (
+    ConstantLatency,
+    ReplayConfig,
+    UniformLatency,
+    replay_trace,
+)
+
+
+def _dataset():
+    return synthetic_facebook(200, seed=3)
+
+
+def _placements(dataset, n=5):
+    users = sorted(dataset.graph.users())[:n]
+    return {
+        u: tuple(sorted(dataset.graph.neighbors(u))[:2]) for u in users
+    }
+
+
+def _key(dataset, placements, **overrides):
+    kwargs = dict(
+        seed=1,
+        config=ReplayConfig(),
+        placements=placements,
+        tracked_profiles=sorted(placements),
+    )
+    kwargs.update(
+        {k: v for k, v in overrides.items() if k != "model"}
+    )
+    return replay_cache_key(
+        dataset, overrides.get("model", FixedLengthModel(8)), **kwargs
+    )
+
+
+class TestReplayCacheKey:
+    def test_deterministic(self):
+        ds = _dataset()
+        placements = _placements(ds)
+        assert _key(ds, placements) == _key(ds, placements)
+
+    def test_every_input_perturbation_changes_the_key(self):
+        ds = _dataset()
+        placements = _placements(ds)
+        base = _key(ds, placements)
+        perturbed = [
+            _key(ds, placements, model=SporadicModel()),
+            _key(ds, placements, seed=2),
+            _key(ds, placements, config=ReplayConfig(days=5)),
+            _key(ds, placements, config=ReplayConfig(sample_every=300)),
+            _key(ds, placements, config=ReplayConfig(use_cdn=True)),
+            _key(ds, placements, config=ReplayConfig(replay_reads=False)),
+            _key(
+                ds,
+                placements,
+                config=ReplayConfig(latency=ConstantLatency(5.0)),
+            ),
+            _key(
+                ds,
+                placements,
+                config=ReplayConfig(latency=ConstantLatency(6.0)),
+            ),
+            _key(
+                ds,
+                placements,
+                config=ReplayConfig(latency=UniformLatency(1.0, 5.0)),
+            ),
+            _key(
+                ds,
+                placements,
+                config=ReplayConfig(
+                    latency=ConstantLatency(5.0), latency_seed=9
+                ),
+            ),
+            _key(ds, placements, tracked_profiles=sorted(placements)[:-1]),
+            _key(ds, _placements(ds, n=4)),
+            _key(synthetic_facebook(200, seed=4), placements),
+        ]
+        assert base not in perturbed
+        assert len(set(perturbed)) == len(perturbed)
+
+    def test_replica_order_is_keyed(self):
+        # Replica order fixes store-creation order, and thereby the
+        # anti-entropy transfer and latency-draw order — so (1, 2) and
+        # (2, 1) are different computations.
+        ds = _dataset()
+        placements = _placements(ds)
+        owner = next(o for o in placements if len(placements[o]) == 2)
+        reordered = dict(placements)
+        reordered[owner] = tuple(reversed(placements[owner]))
+        assert _key(ds, placements) != _key(ds, reordered)
+
+    def test_tracked_profile_order_is_not_keyed(self):
+        ds = _dataset()
+        placements = _placements(ds)
+        tracked = sorted(placements)
+        assert _key(ds, placements, tracked_profiles=tracked) == _key(
+            ds, placements, tracked_profiles=list(reversed(tracked))
+        )
+
+
+class TestPayloadLayer:
+    def _payload(self):
+        return {"stats": {"writes": {"1": [2, 3]}}, "events_replayed": 42}
+
+    def test_memory_round_trip_and_counters(self):
+        cache = SweepCache()
+        assert cache.get_payload("k") is None
+        assert cache.stats.misses == 1
+        cache.put_payload("k", self._payload())
+        assert cache.get_payload("k") == self._payload()
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_disk_round_trip_exact(self, tmp_path):
+        writer = SweepCache(cache_dir=tmp_path)
+        writer.put_payload("k", self._payload())
+        reader = SweepCache(cache_dir=tmp_path)
+        got = reader.get_payload("k")
+        assert got == self._payload()
+        assert isinstance(got["events_replayed"], int)
+        assert reader.stats.disk_hits == 1
+
+    def test_corrupt_entry_misses_as_stale(self, tmp_path):
+        cache = SweepCache(cache_dir=tmp_path)
+        (tmp_path / "k.payload.json").write_text("{not json", encoding="utf-8")
+        assert cache.get_payload("k") is None
+        assert cache.stats.stale == 1
+
+    def test_wrong_format_version_misses_as_stale(self, tmp_path):
+        writer = SweepCache(cache_dir=tmp_path)
+        writer.put_payload("k", self._payload())
+        path = tmp_path / "k.payload.json"
+        blob = json.loads(path.read_text(encoding="utf-8"))
+        blob["format_version"] = "antique"
+        path.write_text(json.dumps(blob), encoding="utf-8")
+        reader = SweepCache(cache_dir=tmp_path)
+        assert reader.get_payload("k") is None
+        assert reader.stats.stale == 1
+
+    def test_non_dict_payload_misses_as_stale(self, tmp_path):
+        writer = SweepCache(cache_dir=tmp_path)
+        writer.put_payload("k", self._payload())
+        path = tmp_path / "k.payload.json"
+        blob = json.loads(path.read_text(encoding="utf-8"))
+        blob["payload"] = [1, 2, 3]
+        path.write_text(json.dumps(blob), encoding="utf-8")
+        reader = SweepCache(cache_dir=tmp_path)
+        assert reader.get_payload("k") is None
+
+    def test_recompute_overwrites_corrupt_entry(self, tmp_path):
+        cache = SweepCache(cache_dir=tmp_path)
+        (tmp_path / "k.payload.json").write_text("torn", encoding="utf-8")
+        assert cache.get_payload("k") is None
+        cache.put_payload("k", self._payload())
+        fresh = SweepCache(cache_dir=tmp_path)
+        assert fresh.get_payload("k") == self._payload()
+
+
+class TestReplayTraceComposition:
+    def _scenario(self):
+        ds = _dataset()
+        model = FixedLengthModel(8)
+        schedules = compute_schedules(ds, model, seed=1)
+        placements = _placements(ds)
+        config = ReplayConfig(days=2, latency=UniformLatency(10.0, 3600.0))
+        key = replay_cache_key(
+            ds,
+            model,
+            seed=1,
+            config=config,
+            placements=placements,
+            tracked_profiles=sorted(placements),
+        )
+        return ds, schedules, placements, config, key
+
+    def test_hit_skips_replay_and_is_field_identical(self, tmp_path):
+        ds, schedules, placements, config, key = self._scenario()
+        cache = SweepCache(cache_dir=tmp_path)
+        first = replay_trace(
+            ds,
+            schedules,
+            placements,
+            config=config,
+            tracked_profiles=sorted(placements),
+            cache=cache,
+            cache_key=key,
+        )
+        assert not first.cached
+        second = replay_trace(
+            ds,
+            schedules,
+            placements,
+            config=config,
+            tracked_profiles=sorted(placements),
+            cache=cache,
+            cache_key=key,
+        )
+        assert second.cached
+        assert second.stats.to_dict() == first.stats.to_dict()
+        assert second.events_replayed == first.events_replayed
+
+    def test_entry_serves_every_backend_and_shard_count(self, tmp_path):
+        # One scalar single-shard entry answers a numpy 3-shard caller —
+        # the knobs are excluded from the key because the results are
+        # bit-identical.
+        ds, schedules, placements, config, key = self._scenario()
+        cache = SweepCache(cache_dir=tmp_path)
+        scalar = replay_trace(
+            ds,
+            schedules,
+            placements,
+            config=config,
+            tracked_profiles=sorted(placements),
+            backend="python",
+            cache=cache,
+            cache_key=key,
+        )
+        vector = replay_trace(
+            ds,
+            schedules,
+            placements,
+            config=config,
+            tracked_profiles=sorted(placements),
+            backend="numpy",
+            shards=3,
+            cache=cache,
+            cache_key=key,
+        )
+        assert vector.cached
+        assert vector.stats.to_dict() == scalar.stats.to_dict()
+
+    def test_disk_entry_survives_process_boundary(self, tmp_path):
+        ds, schedules, placements, config, key = self._scenario()
+        replay_trace(
+            ds,
+            schedules,
+            placements,
+            config=config,
+            tracked_profiles=sorted(placements),
+            cache=SweepCache(cache_dir=tmp_path),
+            cache_key=key,
+        )
+        fresh_cache = SweepCache(cache_dir=tmp_path)
+        live = replay_trace(
+            ds,
+            schedules,
+            placements,
+            config=config,
+            tracked_profiles=sorted(placements),
+        )
+        cached = replay_trace(
+            ds,
+            schedules,
+            placements,
+            config=config,
+            tracked_profiles=sorted(placements),
+            cache=fresh_cache,
+            cache_key=key,
+        )
+        assert cached.cached
+        assert cached.stats.to_dict() == live.stats.to_dict()

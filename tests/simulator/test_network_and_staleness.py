@@ -151,6 +151,103 @@ class TestLatencyInReplay:
         )
 
 
+class TestLostTransferRetry:
+    """A transfer lost outside the window is retried at the next one."""
+
+    def _run(self, config):
+        # Owner [0,5); replica has two windows, [1,2.25) and [4,6.5).
+        # With a 2 h latency the first sync (fired 01:00 when the replica
+        # arrives) lands at 03:00 — inside the replica's gap, so the
+        # transfer is lost.  The replica's return at 04:00 triggers the
+        # anti-entropy retry: the resend lands at 06:00, inside the
+        # second window.
+        ds = _star_dataset(
+            1,
+            [Activity(timestamp=int(0.5 * HOUR_SECONDS), creator=1, receiver=0)],
+        )
+        schedules = {
+            0: _hours(0, 5),
+            1: IntervalSet(
+                [
+                    (1 * HOUR_SECONDS, 2.25 * HOUR_SECONDS),
+                    (4 * HOUR_SECONDS, 6.5 * HOUR_SECONDS),
+                ]
+            ),
+        }
+        return ds, schedules, {0: (1,)}, config
+
+    def test_retry_at_next_window_completes(self):
+        ds, schedules, placements, config = self._run(
+            ReplayConfig(
+                days=1,
+                sample_every=0,
+                replay_reads=False,
+                latency=ConstantLatency(2 * HOUR_SECONDS),
+            )
+        )
+        stats = DecentralizedOSN(ds, schedules, placements, config=config).run()
+        assert stats.incomplete_updates == 0
+        # Posted 00:30, retried sync lands 06:00 -> 5.5 h.
+        assert stats.propagation_delays_hours == [pytest.approx(5.5)]
+
+    def test_vectorized_engine_agrees_on_retry_path(self):
+        from repro.simulator import VectorizedReplay
+
+        ds, schedules, placements, config = self._run(
+            ReplayConfig(
+                days=1,
+                sample_every=0,
+                replay_reads=False,
+                latency=ConstantLatency(2 * HOUR_SECONDS),
+            )
+        )
+        scalar = DecentralizedOSN(
+            ds, schedules, placements, config=config
+        ).run()
+        vector = VectorizedReplay(
+            ds, schedules, placements, config=config
+        ).run()
+        assert vector.to_dict() == scalar.to_dict()
+
+
+class TestCdnUnderLatency:
+    def test_cdn_converges_where_p2p_transfer_is_always_lost(self):
+        # Same regime as the never-completing test above — every direct
+        # transfer outlives the 1 h shared window — but the CDN shadow is
+        # synchronous and always online, so the replica pulls the update
+        # the moment it arrives at 01:00.
+        ds = _star_dataset(
+            1,
+            [Activity(timestamp=int(0.5 * HOUR_SECONDS), creator=1, receiver=0)],
+        )
+        schedules = {0: _hours(0, 2), 1: _hours(1, 3)}
+        config = ReplayConfig(
+            days=3,
+            sample_every=0,
+            use_cdn=True,
+            replay_reads=False,
+            latency=ConstantLatency(2 * HOUR_SECONDS),
+        )
+        stats = DecentralizedOSN(ds, schedules, {0: (1,)}, config=config).run()
+        assert stats.incomplete_updates == 0
+        assert stats.propagation_delays_hours == [pytest.approx(0.5)]
+
+
+class TestReplayConfigEdges:
+    def test_sample_every_zero_disables_sampling(self):
+        config = ReplayConfig(days=1, sample_every=0, replay_reads=False)
+        ds = _star_dataset(1)
+        stats = DecentralizedOSN(
+            ds, {0: _hours(0, 2), 1: _hours(1, 3)}, {0: (1,)}, config=config
+        ).run()
+        assert stats.availability == {}
+
+    def test_days_one_is_the_minimum(self):
+        assert ReplayConfig(days=1).days == 1
+        with pytest.raises(ValueError):
+            ReplayConfig(days=0)
+
+
 class TestReadStaleness:
     def test_fresh_replica_gives_zero_staleness(self):
         # Reader 2 comes online while the owner (who holds everything

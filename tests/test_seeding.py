@@ -98,3 +98,71 @@ class TestHashSeedIndependence:
         sub = _run_under_hashseed("987")
         first_user = min(int(u) for u in sub["sequences"])
         assert sub["derived"] == derive_seed(1, "random", first_user)
+
+
+_LATENCY_SCRIPT = """
+import json
+from repro.datasets import synthetic_facebook
+from repro.onlinetime import FixedLengthModel, compute_schedules
+from repro.simulator import (
+    DecentralizedOSN,
+    ReplayConfig,
+    UniformLatency,
+    latency_rng,
+)
+
+ds = synthetic_facebook(150, seed=5)
+schedules = compute_schedules(ds, FixedLengthModel(8), seed=5)
+users = sorted(ds.graph.users())[:6]
+placements = {u: tuple(sorted(ds.graph.neighbors(u))[:2]) for u in users}
+stats = DecentralizedOSN(
+    ds,
+    schedules,
+    placements,
+    config=ReplayConfig(
+        days=2,
+        sample_every=0,
+        replay_reads=False,
+        latency=UniformLatency(10.0, 5400.0),
+        latency_seed=3,
+    ),
+    tracked_profiles=users,
+).run()
+print(json.dumps({
+    "stats": stats.to_dict(),
+    "draws": [latency_rng(3, u).random() for u in users],
+}))
+"""
+
+
+def _run_latency_under_hashseed(hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _LATENCY_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+class TestLatencyRngHashSeedIndependence:
+    """DES latency draws are interpreter-invariant (satellite of the
+    vectorized-replay PR): the per-profile stream comes from
+    ``derive_rng(seed, "simulator", "latency", profile)``, never from
+    ``hash()``, so replay statistics under a latency model match across
+    ``PYTHONHASHSEED`` salts — and therefore across pool workers."""
+
+    def test_latency_replay_identical_across_hash_seeds(self):
+        a = _run_latency_under_hashseed("0")
+        b = _run_latency_under_hashseed("31337")
+        assert a == b
+
+    def test_stream_matches_current_process(self):
+        from repro.simulator import latency_rng
+
+        sub = _run_latency_under_hashseed("777")
+        assert sub["draws"][0] == latency_rng(3, 0).random()
