@@ -1,6 +1,6 @@
 """Million-user scale path: sharded lazy synthesis + shared-memory packing.
 
-Two contracts, one record (``BENCH_scale.json``):
+Three contracts, one record (``BENCH_scale.json``):
 
 1. Memory — the sharded path must materialize a 1M-user synthetic
    dataset one shard at a time with peak RSS <= 50% of the eager path
@@ -12,7 +12,15 @@ Two contracts, one record (``BENCH_scale.json``):
    scales the run down (CI smokes at 100k); the committed record comes
    from the full 1M run.
 
-2. Identity — sharded sweeps on a subsampled cohort are bit-identical
+2. Shard-native memory — the stream-layout dataset-per-shard path
+   (``graph_layout="stream"``: per-user proposal streams, CSR-backed, no
+   whole python graph ever) must come in at <= 60% of the legacy sharded
+   path's peak RSS, with its digest equal to its own eager reference.
+   The record keeps ``time_to_first_shard_seconds`` — the streaming
+   pipeline's latency to the first materialised shard — and per-path
+   ``users_per_second``.
+
+3. Identity — sharded sweeps on a subsampled cohort are bit-identical
    to the unsharded path across (jobs, engine, backend), the same
    contract those knobs already obey individually.
 
@@ -54,10 +62,19 @@ SCALE_SEED = 3
 MAX_RSS_RATIO = 0.50
 RATIO_ASSERT_MIN = 500_000
 
+#: The stream-layout dataset-per-shard path must beat the legacy sharded
+#: path's peak RSS by at least this factor (same RATIO_ASSERT_MIN gate).
+MAX_STREAM_RSS_RATIO = 0.60
+
 #: Absolute ceiling for the sharded path's peak RSS (MiB); the CI scale
 #: smoke sets this for its ~100k-user run, where the ratio is not yet
 #: meaningful but a memory regression still must fail the job.
 RSS_CEILING_MIB = os.environ.get("REPRO_SCALE_RSS_CEILING_MB")
+
+#: Tighter absolute ceiling (MiB) for the stream-layout sharded path —
+#: the whole point of the shard-native pipeline is a lower high-water
+#: mark than the legacy sharded path at the same scale.
+STREAM_RSS_CEILING_MIB = os.environ.get("REPRO_SCALE_STREAM_RSS_CEILING_MB")
 
 _JSON_PATH = Path(
     os.environ.get(
@@ -73,7 +90,7 @@ _SPEC = """
 from repro.datasets import SyntheticSpec
 from repro.datasets.synthesis import TraceParams
 
-def make_spec(n, seed):
+def make_spec(n, seed, layout="legacy"):
     return SyntheticSpec(
         "facebook",
         n,
@@ -81,6 +98,7 @@ def make_spec(n, seed):
         params=TraceParams(trace_days=14, activities_mean=8.0),
         min_activities=0,
         max_degree=30,
+        graph_layout=layout,
     )
 
 def digest_of(activities):
@@ -100,7 +118,8 @@ _EAGER_SCRIPT = _SPEC + """
 import json, resource, sys, time
 
 n, seed = int(sys.argv[1]), int(sys.argv[2])
-spec = make_spec(n, seed)
+layout = sys.argv[3] if len(sys.argv) > 3 else "legacy"
+spec = make_spec(n, seed, layout)
 start = time.perf_counter()
 dataset = spec.eager()
 digest = digest_of(dataset.trace)
@@ -119,14 +138,21 @@ import json, resource, sys, time
 from repro.datasets import ShardedDataset
 
 n, seed, shards = int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3])
-spec = make_spec(n, seed)
+layout = sys.argv[4] if len(sys.argv) > 4 else "legacy"
+spec = make_spec(n, seed, layout)
 start = time.perf_counter()
 sharded = ShardedDataset(spec, shards)
 digest = 0
 activities = 0
+first_shard_seconds = None
 for k in range(shards):
     cohort = set(sharded.shard_users(k))
     shard = sharded.shard(k)
+    if first_shard_seconds is None:
+        # Latency to the first materialised shard: survivor survey +
+        # one shard build.  Downstream dataset-per-shard sweeps can
+        # start working after this, not after the full-graph build.
+        first_shard_seconds = time.perf_counter() - start
     # Every activity lands on exactly one receiver, and that receiver's
     # shard trace is guaranteed to contain it — so counting activities
     # by receiving shard covers the eager trace exactly once.  Streamed,
@@ -140,6 +166,7 @@ for k in range(shards):
 elapsed = time.perf_counter() - start
 print(json.dumps({
     "seconds": elapsed,
+    "time_to_first_shard_seconds": first_shard_seconds,
     "activities": activities,
     "digest": digest,
     "peak_rss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -230,11 +257,31 @@ def _identity_grid():
     return checked
 
 
+def _path_record(result):
+    entry = {
+        "seconds": round(result["seconds"], 3),
+        "users_per_second": round(SCALE_USERS / result["seconds"], 1),
+        "peak_rss_bytes": result["peak_rss_bytes"],
+        "activities": result["activities"],
+    }
+    if result.get("time_to_first_shard_seconds") is not None:
+        entry["time_to_first_shard_seconds"] = round(
+            result["time_to_first_shard_seconds"], 3
+        )
+    return entry
+
+
 def test_scale_sharded_vs_eager(benchmark):
     identity_checked = _identity_grid()
     payloads = _payload_bytes()
 
     eager = _run_path(_EAGER_SCRIPT, SCALE_USERS, SCALE_SEED)
+    stream_eager = _run_path(
+        _EAGER_SCRIPT, SCALE_USERS, SCALE_SEED, "stream"
+    )
+    stream_sharded = _run_path(
+        _SHARDED_SCRIPT, SCALE_USERS, SCALE_SEED, SCALE_SHARDS, "stream"
+    )
 
     def run_sharded():
         return _run_path(
@@ -245,7 +292,14 @@ def test_scale_sharded_vs_eager(benchmark):
 
     assert sharded["digest"] == eager["digest"]
     assert sharded["activities"] == eager["activities"]
+    # The stream layout draws a different (but equally valid) graph, so
+    # its digest anchor is its own eager reference, not the legacy one.
+    assert stream_sharded["digest"] == stream_eager["digest"]
+    assert stream_sharded["activities"] == stream_eager["activities"]
     rss_ratio = sharded["peak_rss_bytes"] / eager["peak_rss_bytes"]
+    stream_rss_ratio = (
+        stream_sharded["peak_rss_bytes"] / sharded["peak_rss_bytes"]
+    )
 
     record = {
         "bench": "scale",
@@ -257,22 +311,19 @@ def test_scale_sharded_vs_eager(benchmark):
             "python": platform.python_version(),
             "cpus": os.cpu_count(),
         },
-        "eager": {
-            "seconds": round(eager["seconds"], 3),
-            "users_per_second": round(SCALE_USERS / eager["seconds"], 1),
-            "peak_rss_bytes": eager["peak_rss_bytes"],
-            "activities": eager["activities"],
-        },
-        "sharded": {
-            "seconds": round(sharded["seconds"], 3),
-            "users_per_second": round(SCALE_USERS / sharded["seconds"], 1),
-            "peak_rss_bytes": sharded["peak_rss_bytes"],
-            "activities": sharded["activities"],
-        },
+        "eager": _path_record(eager),
+        "sharded": _path_record(sharded),
+        "stream_eager": _path_record(stream_eager),
+        "stream_sharded": _path_record(stream_sharded),
         "rss_ratio": round(rss_ratio, 4),
         "max_rss_ratio": MAX_RSS_RATIO,
+        "stream_rss_ratio": round(stream_rss_ratio, 4),
+        "max_stream_rss_ratio": MAX_STREAM_RSS_RATIO,
         "ratio_asserted": SCALE_USERS >= RATIO_ASSERT_MIN,
         "rss_ceiling_mib": float(RSS_CEILING_MIB) if RSS_CEILING_MIB else None,
+        "stream_rss_ceiling_mib": (
+            float(STREAM_RSS_CEILING_MIB) if STREAM_RSS_CEILING_MIB else None
+        ),
         "digests_identical": True,
         "worker_payload": payloads,
         "identity_grid": identity_checked,
@@ -286,9 +337,20 @@ def test_scale_sharded_vs_eager(benchmark):
         f"{eager['peak_rss_bytes'] / 2**20:.0f} MiB, sharded(x"
         f"{SCALE_SHARDS}) {sharded['seconds']:.1f}s / "
         f"{sharded['peak_rss_bytes'] / 2**20:.0f} MiB "
-        f"(ratio {rss_ratio:.2f}) -> {_JSON_PATH}"
+        f"(ratio {rss_ratio:.2f}), stream sharded "
+        f"{stream_sharded['seconds']:.1f}s / "
+        f"{stream_sharded['peak_rss_bytes'] / 2**20:.0f} MiB "
+        f"(vs legacy sharded {stream_rss_ratio:.2f}, first shard "
+        f"{stream_sharded['time_to_first_shard_seconds']:.1f}s) "
+        f"-> {_JSON_PATH}"
     )
     if RSS_CEILING_MIB:
         assert sharded["peak_rss_bytes"] <= float(RSS_CEILING_MIB) * 2**20
+    if STREAM_RSS_CEILING_MIB:
+        assert (
+            stream_sharded["peak_rss_bytes"]
+            <= float(STREAM_RSS_CEILING_MIB) * 2**20
+        )
     if SCALE_USERS >= RATIO_ASSERT_MIN:
         assert rss_ratio <= MAX_RSS_RATIO
+        assert stream_rss_ratio <= MAX_STREAM_RSS_RATIO

@@ -120,6 +120,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     backend=args.backend,
                     cache=cache,
                     shards=args.shards,
+                    shard_mode=args.shard_mode,
                 )
                 results.append(result)
                 print(result.render(), file=out)
@@ -143,6 +144,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 backend=args.backend,
                 shards=args.shards,
+                shard_mode=args.shard_mode,
                 cache=cache,
                 executor=executor,
             )
@@ -176,6 +178,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             engine=args.engine,
             backend=args.backend,
             shards=args.shards,
+            shard_mode=args.shard_mode,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             resume=args.resume,
@@ -437,6 +440,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_run.add_argument(
+        "--shard-mode",
+        default="cohort",
+        choices=("cohort", "dataset"),
+        help=(
+            "'cohort' (default) materialises each dataset whole and "
+            "shards only the sweep fan-out; 'dataset' streams the "
+            "dataset shard by shard (--shards sets the shard count) so "
+            "only one shard's graph/trace/schedules is in memory at a "
+            "time — results agree up to float rounding"
+        ),
+    )
+    p_run.add_argument(
         "--cache-dir",
         help=(
             "directory for the persistent sweep-result cache; entries are "
@@ -502,6 +517,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "split each sweep cohort into this many contiguous slices "
             "dispatched one at a time (results are bit-identical)"
+        ),
+    )
+    p_batch.add_argument(
+        "--shard-mode",
+        default="cohort",
+        choices=("cohort", "dataset"),
+        help=(
+            "'cohort' (default) materialises each dataset whole; "
+            "'dataset' streams it shard by shard (--shards sets the "
+            "shard count) — results agree up to float rounding"
         ),
     )
     p_batch.add_argument(

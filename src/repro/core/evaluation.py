@@ -52,6 +52,7 @@ from repro.parallel import (
     is_quarantined,
     select_sequences_chunk,
 )
+from repro.partition import partition_bounds
 from repro.seeding import derive_rng
 from repro.timeline.packed import (
     NUMPY,
@@ -62,6 +63,7 @@ from repro.timeline.packed import (
 
 if TYPE_CHECKING:  # imported lazily: repro.cache imports this module
     from repro.cache import SweepCache
+    from repro.datasets.sharding import ShardedDataset
 
 
 def _pack_for_backend(
@@ -266,15 +268,26 @@ class AggregateMetrics:
 
 
 def select_cohort(
-    dataset: Dataset,
+    dataset,
     degree: int,
     *,
     max_users: Optional[int] = None,
     seed: int = 0,
 ) -> List[UserId]:
     """Users with exactly ``degree`` replica candidates; optionally a
-    reproducible subsample of at most ``max_users`` of them."""
-    users = dataset.graph.users_with_degree(degree)
+    reproducible subsample of at most ``max_users`` of them.
+
+    Accepts a :class:`~repro.datasets.schema.Dataset` (degrees come from
+    its filtered graph) or any source with its own ``users_with_degree``
+    — in particular :class:`~repro.datasets.sharding.ShardedDataset`,
+    whose surviving-candidate counts equal the filtered-graph degrees.
+    Both return the matching users sorted ascending, so the subsample
+    (and hence every downstream sweep) is identical across sources.
+    """
+    if hasattr(dataset, "users_with_degree"):
+        users = dataset.users_with_degree(degree)
+    else:
+        users = dataset.graph.users_with_degree(degree)
     if max_users is not None and len(users) > max_users:
         rng = random.Random(seed)
         users = sorted(rng.sample(users, max_users))
@@ -468,9 +481,9 @@ def sweep_replication_degree(
                 ),
             )
             per_user = []
-            for shard in range(shards):
-                lo = shard * len(users) // shards
-                hi = (shard + 1) * len(users) // shards
+            for shard, (lo, hi) in enumerate(
+                partition_bounds(len(users), shards)
+            ):
                 if lo == hi:
                     continue
                 phase = f"sweep[{model.name}]"
@@ -600,4 +613,240 @@ def sweep_user_degree(
         )
         for name, series in point.items():
             results[name].append(series[0])
+    return results
+
+
+# -- dataset-per-shard sweeps ---------------------------------------------
+#
+# The ``shards=`` knob above splits the *fan-out* of one materialised
+# dataset; the ``*_datasets`` drivers below shard the dataset itself.
+# They iterate ``ShardedDataset.shard(k)`` — one shard dataset, one set
+# of schedules, one cohort slice in memory at a time — and roll the
+# per-shard aggregates up with :meth:`AggregateMetrics.merge`.  Because a
+# shard dataset reproduces its cohort's candidates, activities and
+# schedules bit for bit, per-user metrics equal the whole-dataset run's;
+# the rollup differs from a single pass only by float-summation order.
+#
+# Rollup shape: the inner sweeps run one repeat at a time (``seed + r``,
+# ``repeats=1``), shards are merged *within* each repeat first (exact
+# integer finite-delay weights), and :meth:`AggregateMetrics.mean`
+# averages across repeats last — the same weighting the whole-dataset
+# sweep applies, so the two paths agree field for field.
+
+
+def _shard_cohorts(
+    sharded: "ShardedDataset", users: Sequence[UserId]
+) -> List[List[UserId]]:
+    """``users`` split by owning shard, each slice in ``users`` order."""
+    cohorts = []
+    for shard in range(sharded.num_shards):
+        owned = set(sharded.shard_users(shard))
+        cohorts.append([u for u in users if u in owned])
+    return cohorts
+
+
+def _rollup(
+    parts: List[List["AggregateMetrics"]],
+) -> "AggregateMetrics":
+    """Merge per-shard aggregates within each repeat, then average."""
+    return AggregateMetrics.mean(
+        [AggregateMetrics.merge(shard_parts) for shard_parts in parts]
+    )
+
+
+def sweep_replication_degree_datasets(
+    sharded: "ShardedDataset",
+    model: OnlineTimeModel,
+    policies: Sequence[PlacementPolicy],
+    *,
+    mode: str = CONREP,
+    degrees: Sequence[int],
+    users: Sequence[UserId],
+    seed: int = 0,
+    repeats: int = 1,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
+    backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
+    shards: int = 1,
+) -> Dict[str, List[AggregateMetrics]]:
+    """:func:`sweep_replication_degree` over a :class:`ShardedDataset`.
+
+    Streams shard datasets one at a time instead of materialising the
+    whole dataset — the peak working set is one shard's graph, trace and
+    schedules.  ``shards`` still controls the fan-out granularity of
+    each inner sweep.  With a ``cache``, each (shard, repeat) sweep is
+    content-addressed by the shard's fingerprint, so reruns and
+    overlapping sweeps reuse per-shard entries.
+    """
+    if not users:
+        raise ValueError("empty user cohort")
+    degrees = list(degrees)
+    cohorts = _shard_cohorts(sharded, users)
+    if not any(cohorts):
+        raise ValueError("no cohort user is owned by any shard")
+    # parts[name][degree_index][repeat] -> per-shard aggregates
+    parts: Dict[str, List[List[List[AggregateMetrics]]]] = {
+        p.name: [[[] for _ in range(repeats)] for _ in degrees]
+        for p in policies
+    }
+    for shard, cohort in enumerate(cohorts):
+        if not cohort:
+            continue
+        dataset = sharded.shard(shard)
+        for r in range(repeats):
+            point = sweep_replication_degree(
+                dataset,
+                model,
+                policies,
+                mode=mode,
+                degrees=degrees,
+                users=cohort,
+                seed=seed + r,
+                repeats=1,
+                executor=executor,
+                engine=engine,
+                backend=backend,
+                cache=cache,
+                shards=shards,
+            )
+            for name, series in point.items():
+                for i, aggregate in enumerate(series):
+                    parts[name][i][r].append(aggregate)
+    return {
+        p.name: [_rollup(cell) for cell in parts[p.name]] for p in policies
+    }
+
+
+def sweep_session_length_datasets(
+    sharded: "ShardedDataset",
+    session_lengths: Sequence[float],
+    policies: Sequence[PlacementPolicy],
+    *,
+    mode: str = CONREP,
+    k: int,
+    users: Sequence[UserId],
+    seed: int = 0,
+    repeats: int = 1,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
+    backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
+    shards: int = 1,
+) -> Dict[str, List[AggregateMetrics]]:
+    """:func:`sweep_session_length` over a :class:`ShardedDataset`.
+
+    Each shard dataset is materialised once and swept across *every*
+    session length before the next shard is touched, so the peak
+    working set stays one shard wide regardless of how many lengths the
+    figure plots.
+    """
+    if not users:
+        raise ValueError("empty user cohort")
+    cohorts = _shard_cohorts(sharded, users)
+    if not any(cohorts):
+        raise ValueError("no cohort user is owned by any shard")
+    parts: Dict[str, List[List[List[AggregateMetrics]]]] = {
+        p.name: [[[] for _ in range(repeats)] for _ in session_lengths]
+        for p in policies
+    }
+    for shard, cohort in enumerate(cohorts):
+        if not cohort:
+            continue
+        dataset = sharded.shard(shard)
+        for i, length in enumerate(session_lengths):
+            model = SporadicModel(session_seconds=length)
+            for r in range(repeats):
+                point = sweep_replication_degree(
+                    dataset,
+                    model,
+                    policies,
+                    mode=mode,
+                    degrees=[k],
+                    users=cohort,
+                    seed=seed + r,
+                    repeats=1,
+                    executor=executor,
+                    engine=engine,
+                    backend=backend,
+                    cache=cache,
+                    shards=shards,
+                )
+                for name, series in point.items():
+                    parts[name][i][r].append(series[0])
+    return {
+        p.name: [_rollup(cell) for cell in parts[p.name]] for p in policies
+    }
+
+
+def sweep_user_degree_datasets(
+    sharded: "ShardedDataset",
+    model: OnlineTimeModel,
+    policies: Sequence[PlacementPolicy],
+    *,
+    mode: str = CONREP,
+    user_degrees: Sequence[int],
+    max_users_per_degree: Optional[int] = None,
+    seed: int = 0,
+    repeats: int = 1,
+    executor: Optional[ParallelExecutor] = None,
+    engine: str = INCREMENTAL,
+    backend: str = PYTHON,
+    cache: Optional["SweepCache"] = None,
+    shards: int = 1,
+) -> Dict[str, List[Optional[AggregateMetrics]]]:
+    """:func:`sweep_user_degree` over a :class:`ShardedDataset`.
+
+    Cohorts are selected from the sharded survivor survey (identical to
+    the filtered graph's degree bins, including the subsample order);
+    every degree's slice of a shard is swept while that shard is
+    materialised.  Degrees with no users anywhere yield ``None``.
+    """
+    user_degrees = list(user_degrees)
+    full_cohorts = [
+        select_cohort(
+            sharded, degree, max_users=max_users_per_degree, seed=seed
+        )
+        for degree in user_degrees
+    ]
+    per_shard = [_shard_cohorts(sharded, cohort) for cohort in full_cohorts]
+    parts: Dict[str, List[List[List[AggregateMetrics]]]] = {
+        p.name: [[[] for _ in range(repeats)] for _ in user_degrees]
+        for p in policies
+    }
+    for shard in range(sharded.num_shards):
+        if not any(per_shard[i][shard] for i in range(len(user_degrees))):
+            continue
+        dataset = sharded.shard(shard)
+        for i, degree in enumerate(user_degrees):
+            cohort = per_shard[i][shard]
+            if not cohort:
+                continue
+            for r in range(repeats):
+                point = sweep_replication_degree(
+                    dataset,
+                    model,
+                    policies,
+                    mode=mode,
+                    degrees=[degree],  # allow every candidate to host
+                    users=cohort,
+                    seed=seed + r,
+                    repeats=1,
+                    executor=executor,
+                    engine=engine,
+                    backend=backend,
+                    cache=cache,
+                    shards=shards,
+                )
+                for name, series in point.items():
+                    parts[name][i][r].append(series[0])
+    results: Dict[str, List[Optional[AggregateMetrics]]] = {
+        p.name: [] for p in policies
+    }
+    for i in range(len(user_degrees)):
+        for p in policies:
+            if not full_cohorts[i]:
+                results[p.name].append(None)
+            else:
+                results[p.name].append(_rollup(parts[p.name][i]))
     return results

@@ -10,7 +10,12 @@ from repro.datasets.facebook import (
 )
 from repro.datasets.filters import filter_dataset
 from repro.datasets.schema import Activity, ActivityTrace, Dataset
-from repro.datasets.sharding import ShardedDataset, SyntheticSpec
+from repro.datasets.sharding import (
+    LEGACY_GRAPH,
+    STREAM_GRAPH,
+    ShardedDataset,
+    SyntheticSpec,
+)
 from repro.datasets.stats import (
     DatasetStats,
     activity_count_distribution,
@@ -21,6 +26,7 @@ from repro.datasets.synthesis import (
     STREAM_VERSION,
     DiurnalMixture,
     TraceParams,
+    survey_receiver_rows,
     synthesize_tweet_trace,
     synthesize_wall_trace,
     user_activities,
@@ -41,11 +47,13 @@ __all__ = [
     "Dataset",
     "DatasetStats",
     "DiurnalMixture",
+    "LEGACY_GRAPH",
     "PAPER_FACEBOOK_AVG_ACTIVITIES",
     "PAPER_FACEBOOK_AVG_DEGREE",
     "PAPER_FACEBOOK_USERS",
     "PAPER_TWITTER_AVG_DEGREE",
     "PAPER_TWITTER_USERS",
+    "STREAM_GRAPH",
     "STREAM_VERSION",
     "ShardedDataset",
     "SyntheticSpec",
@@ -58,6 +66,7 @@ __all__ = [
     "load_facebook_wall_trace",
     "load_tweet_trace",
     "load_twitter_dataset",
+    "survey_receiver_rows",
     "synthesize_tweet_trace",
     "synthesize_wall_trace",
     "synthetic_facebook",

@@ -27,6 +27,7 @@ from repro.graph.generators import (
     powerlaw_degree_sequence,
 )
 from repro.graph.io import PathOrFile, open_for_read, read_friendship_graph
+from repro.graph.stream import stream_social_graph
 
 #: Filtered-dataset statistics reported in the paper (§IV-A), used by the
 #: dataset-statistics bench as the reference column.
@@ -108,6 +109,7 @@ def synthetic_facebook(
     min_activities: int = 10,
     degree_alpha: float = _DEGREE_ALPHA,
     max_degree: Optional[int] = None,
+    graph_layout: str = "legacy",
 ) -> Dataset:
     """Build a synthetic Facebook-like dataset and run the paper's filter.
 
@@ -116,17 +118,28 @@ def synthetic_facebook(
     is a pure function of ``(num_users, seed, params)``.  ``max_degree``
     caps the degree-sequence support (million-user runs want an explicit
     cap; ``None`` keeps the generator's ``num_users ** 0.75`` default).
+    ``graph_layout`` selects the friendship-graph generator: ``"legacy"``
+    (sequential configuration model) or ``"stream"`` (per-user proposal
+    streams — the shard-native layout, whose rows any shard can rebuild
+    without replaying other users).
     """
-    rng = random.Random(seed)
     if params is None:
         params = TraceParams(
             trace_days=90,
             activities_mean=PAPER_FACEBOOK_AVG_ACTIVITIES,
         )
-    degrees = powerlaw_degree_sequence(
-        num_users, degree_alpha, rng, max_degree=max_degree
-    )
-    graph = configuration_graph(degrees, rng)
+    if graph_layout == "stream":
+        graph = stream_social_graph(
+            num_users, degree_alpha, seed, max_degree=max_degree
+        )
+    elif graph_layout == "legacy":
+        rng = random.Random(seed)
+        degrees = powerlaw_degree_sequence(
+            num_users, degree_alpha, rng, max_degree=max_degree
+        )
+        graph = configuration_graph(degrees, rng)
+    else:
+        raise ValueError(f"unknown graph_layout {graph_layout!r}")
     trace = synthesize_wall_trace(graph, params, seed)
     dataset = Dataset(
         name=f"synthetic-facebook-{num_users}",

@@ -30,12 +30,14 @@ from repro.timeline.day import time_of_day
 Graph = Union[SocialGraph, FollowerGraph]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Activity:
     """One interaction: ``creator`` posts on ``receiver``'s profile.
 
     ``timestamp`` is absolute seconds (UNIX-epoch-like); metrics that live
-    on the periodic day use :attr:`second_of_day`.
+    on the periodic day use :attr:`second_of_day`.  Slotted: millions of
+    instances are resident at once on the scale path, and the per-object
+    ``__dict__`` would otherwise dominate a shard's footprint.
     """
 
     timestamp: float

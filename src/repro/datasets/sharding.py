@@ -10,12 +10,26 @@ any subset of users can be materialised on demand without replaying
 anyone else's stream.
 
 :class:`SyntheticSpec` is the declarative recipe (kind, size, seed,
-params); :class:`ShardedDataset` builds the graph once, runs the paper's
-activity/candidate filter to fixpoint over a lightweight *survey* of
-per-user receiver lists (no timestamps, no ``Activity`` objects), and
-then serves shard ``k`` as a real :class:`~repro.datasets.schema.Dataset`
-covering a contiguous slice of the surviving cohort plus exactly the
-context users (replica candidates) the sweep kernels read.
+params, graph layout); :class:`ShardedDataset` resolves the paper's
+activity/candidate filter to fixpoint over a *streaming survey* of
+per-user receiver lists — built in bounded user windows, with the
+cumsum-CSR segment counts likewise chunked — and then serves shard ``k``
+as a real :class:`~repro.datasets.schema.Dataset` covering a contiguous
+slice of the surviving cohort plus exactly the context users (replica
+candidates) the sweep kernels read.
+
+Two graph layouts:
+
+* ``"legacy"`` (default) — the sequential generators of
+  :mod:`repro.graph.generators`; the whole python graph is built once
+  (inherently global RNG), everything downstream is identical to the
+  eager builders.
+* ``"stream"`` — the shard-native layout of :mod:`repro.graph.stream`:
+  per-user proposal streams (``derive_rng(seed, "graph", user)``)
+  materialised as compact CSR arrays; no dict-of-sets python graph ever
+  exists, so peak RSS is dominated by a few integer arrays instead of
+  millions of python objects.  Spec fingerprints cover the layout (and
+  its ``GRAPH_STREAM_VERSION``), and legacy fingerprints are unchanged.
 
 Shard datasets are stamped with a content fingerprint derived from
 ``(spec, shard, num_shards)`` so they compose with the content-addressed
@@ -34,7 +48,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,8 +56,8 @@ from repro.datasets.schema import ActivityTrace, Dataset
 from repro.datasets.synthesis import (
     STREAM_VERSION,
     TraceParams,
+    survey_receiver_rows,
     user_activities,
-    user_receivers,
 )
 from repro.graph.generators import (
     configuration_graph,
@@ -51,15 +65,38 @@ from repro.graph.generators import (
     powerlaw_follower_graph,
 )
 from repro.graph.social_graph import UserId
+from repro.graph.stream import (
+    GRAPH_STREAM_VERSION,
+    CsrRows,
+    induced_follower_subgraph,
+    induced_social_subgraph,
+    stream_adjacency,
+    stream_follower_rows,
+)
+from repro.partition import partition_bounds
 from repro.seeding import canonical_key_bytes
 
-__all__ = ["ShardedDataset", "SyntheticSpec"]
+__all__ = [
+    "LEGACY_GRAPH",
+    "STREAM_GRAPH",
+    "ShardedDataset",
+    "SyntheticSpec",
+]
 
 #: Matches the module-private default in facebook.py / twitter.py.
 _DEGREE_ALPHA = 1.35
 
 #: Mirrors ``filter_dataset``'s fixpoint round cap.
 _MAX_FILTER_ROUNDS = 50
+
+#: Graph layout names accepted by :class:`SyntheticSpec`.
+LEGACY_GRAPH = "legacy"
+STREAM_GRAPH = "stream"
+_GRAPH_LAYOUTS = (LEGACY_GRAPH, STREAM_GRAPH)
+
+#: Users per window for the streaming survey and the chunked segment
+#: counts — bounds the python-object and cumsum transients.
+_DEFAULT_SURVEY_WINDOW = 65536
 
 
 @dataclass(frozen=True)
@@ -82,6 +119,11 @@ class SyntheticSpec:
     #: ``num_users ** 0.75`` default).  Million-user runs want an explicit
     #: cap: the default support would make the *average* degree explode.
     max_degree: Optional[int] = None
+    #: Graph generation layout: ``"legacy"`` (sequential generators,
+    #: default — fingerprints unchanged from before the layout existed)
+    #: or ``"stream"`` (per-user proposal streams, CSR-backed; the
+    #: shard-native scale path).
+    graph_layout: str = LEGACY_GRAPH
 
     def __post_init__(self) -> None:
         if self.kind not in ("facebook", "twitter"):
@@ -90,6 +132,11 @@ class SyntheticSpec:
             raise ValueError("num_users must be >= 2")
         if self.min_activities < 0:
             raise ValueError("min_activities must be >= 0")
+        if self.graph_layout not in _GRAPH_LAYOUTS:
+            raise ValueError(
+                f"unknown graph_layout {self.graph_layout!r}; "
+                f"choose from {_GRAPH_LAYOUTS}"
+            )
 
     @property
     def require_candidates(self) -> bool:
@@ -106,6 +153,23 @@ class SyntheticSpec:
 
     def build_graph(self):
         """The full social graph — identical to the eager builders'."""
+        if self.graph_layout == STREAM_GRAPH:
+            from repro.graph.stream import (
+                stream_follower_graph,
+                stream_social_graph,
+            )
+
+            builder = (
+                stream_social_graph
+                if self.kind == "facebook"
+                else stream_follower_graph
+            )
+            return builder(
+                self.num_users,
+                self.degree_alpha,
+                self.seed,
+                max_degree=self.max_degree,
+            )
         rng = random.Random(self.seed)
         if self.kind == "facebook":
             degrees = powerlaw_degree_sequence(
@@ -123,7 +187,12 @@ class SyntheticSpec:
         )
 
     def fingerprint(self) -> str:
-        """Content address of the spec (covers the RNG stream layout)."""
+        """Content address of the spec (covers the RNG stream layout).
+
+        The graph layout is appended only when it differs from
+        ``"legacy"``, so fingerprints of pre-existing legacy specs — and
+        every sweep-cache address derived from them — are unchanged.
+        """
         params = self.resolved_params()
         parts: List[object] = [
             "synthetic-spec",
@@ -142,6 +211,10 @@ class SyntheticSpec:
         ]
         for component in params.mixture.components:
             parts.extend(component)
+        if self.graph_layout != LEGACY_GRAPH:
+            parts.extend(
+                ["graph-layout", self.graph_layout, GRAPH_STREAM_VERSION]
+            )
         return hashlib.sha256(canonical_key_bytes(*parts)).hexdigest()
 
     def eager(self) -> Dataset:
@@ -159,84 +232,184 @@ class SyntheticSpec:
             min_activities=self.min_activities,
             degree_alpha=self.degree_alpha,
             max_degree=self.max_degree,
+            graph_layout=self.graph_layout,
         )
+
+
+class _LegacyPlane:
+    """Graph plane backed by the whole python graph (legacy layout)."""
+
+    def __init__(self, spec: SyntheticSpec):
+        self.graph = spec.build_graph()
+        self.num_users = self.graph.num_users
+        if sorted(self.graph.users()) != list(range(self.num_users)):
+            raise ValueError(
+                "sharded synthesis requires contiguous user ids 0..N-1"
+            )
+        self._directed = spec.kind == "twitter"
+
+    def partners(self, user: UserId) -> List[UserId]:
+        """The user's full sorted partner list (stream-layout input)."""
+        if self._directed:
+            return sorted(self.graph.followees(user))
+        return sorted(self.graph.neighbors(user))
+
+    def candidates(self, user: UserId) -> List[UserId]:
+        return sorted(self.graph.replica_candidates(user))
+
+    def candidate_csr(self, window: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat CSR of every user's replica-candidate list (windowed)."""
+        n = self.num_users
+        counts = np.zeros(n, dtype=np.int64)
+        batches = []
+        for start in range(0, n, window):
+            chunk: List[UserId] = []
+            for user in range(start, min(start + window, n)):
+                candidates = self.candidates(user)
+                counts[user] = len(candidates)
+                chunk.extend(candidates)
+            batches.append(np.asarray(chunk, dtype=np.int64))
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        flat = (
+            np.concatenate(batches)
+            if batches
+            else np.empty(0, dtype=np.int64)
+        )
+        return flat, offsets
+
+    def subgraph(self, keep):
+        return self.graph.subgraph(keep)
+
+
+class _StreamPlane:
+    """Graph plane backed by compact CSR rows (stream layout).
+
+    Never materialises a dict-of-sets python graph: the adjacency (or
+    follower/followee pair) lives in a handful of integer arrays, and
+    python subgraphs are sliced out per shard on demand.
+    """
+
+    def __init__(self, spec: SyntheticSpec, window: int):
+        self.num_users = spec.num_users
+        self._directed = spec.kind == "twitter"
+        if self._directed:
+            self._followers, self._followees = stream_follower_rows(
+                spec.num_users,
+                spec.degree_alpha,
+                spec.seed,
+                max_degree=spec.max_degree,
+                window=window,
+            )
+        else:
+            self._adjacency = stream_adjacency(
+                spec.num_users,
+                spec.degree_alpha,
+                spec.seed,
+                max_degree=spec.max_degree,
+                window=window,
+            )
+
+    def partners(self, user: UserId) -> List[UserId]:
+        rows = self._followees if self._directed else self._adjacency
+        return rows.row_list(user)
+
+    def candidates(self, user: UserId) -> List[UserId]:
+        rows = self._followers if self._directed else self._adjacency
+        return rows.row_list(user)
+
+    @property
+    def candidate_rows(self) -> CsrRows:
+        return self._followers if self._directed else self._adjacency
+
+    def candidate_csr(self, window: int) -> Tuple[np.ndarray, np.ndarray]:
+        rows = self.candidate_rows
+        return rows.indices, rows.indptr
+
+    def subgraph(self, keep):
+        if self._directed:
+            return induced_follower_subgraph(self._followers, keep)
+        return induced_social_subgraph(self._adjacency, keep)
 
 
 class ShardedDataset:
     """Per-shard lazy materialisation of a :class:`SyntheticSpec`.
 
-    Construction builds the graph and resolves the paper's filter
-    fixpoint from a survey of per-user receiver lists; activities (with
-    timestamps) are only materialised when a shard is requested, and a
-    shard covers just its cohort slice plus the cohort's surviving
-    replica candidates.
+    Construction builds the graph plane and resolves the paper's filter
+    fixpoint from a streaming survey of per-user receiver lists (bounded
+    user windows, chunked segment counts); activities (with timestamps)
+    are only materialised when a shard is requested, and a shard covers
+    just its cohort slice plus the cohort's surviving replica
+    candidates.
     """
 
-    def __init__(self, spec: SyntheticSpec, num_shards: int):
+    def __init__(
+        self,
+        spec: SyntheticSpec,
+        num_shards: int,
+        *,
+        survey_window: int = _DEFAULT_SURVEY_WINDOW,
+    ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if survey_window < 1:
+            raise ValueError("survey_window must be >= 1")
         self.spec = spec
         self.num_shards = num_shards
         self.params = spec.resolved_params()
-        self.graph = spec.build_graph()
-        n = self.graph.num_users
-        if sorted(self.graph.users()) != list(range(n)):
-            raise ValueError(
-                "sharded synthesis requires contiguous user ids 0..N-1"
-            )
+        self._window = survey_window
+        if spec.graph_layout == STREAM_GRAPH:
+            self._plane = _StreamPlane(spec, survey_window)
+        else:
+            self._plane = _LegacyPlane(spec)
+        n = self._plane.num_users
         self._alive = self._resolve_survivors(n)
         self._survivors: Tuple[UserId, ...] = tuple(
             int(u) for u in np.flatnonzero(self._alive)
+        )
+
+    @property
+    def graph(self):
+        """The whole python graph — legacy layout only (the stream
+        layout's point is that no such object exists)."""
+        plane = self._plane
+        if isinstance(plane, _LegacyPlane):
+            return plane.graph
+        raise AttributeError(
+            "stream-layout ShardedDataset holds CSR rows, not a whole "
+            "python graph; use shard(k).graph for a shard's subgraph"
         )
 
     # -- filter fixpoint -------------------------------------------------
 
     def _partners(self, user: UserId) -> List[UserId]:
         """The user's full sorted partner list (stream-layout input)."""
-        if self.spec.kind == "facebook":
-            return sorted(self.graph.neighbors(user))
-        return sorted(self.graph.followees(user))
-
-    def _survey_receivers(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Flat CSR of every user's receiver list, without timestamps."""
-        offsets = np.zeros(n + 1, dtype=np.int64)
-        chunks: List[List[UserId]] = []
-        for user in range(n):
-            receivers = user_receivers(
-                self._partners(user), self.params, self.spec.seed, user
-            )
-            chunks.append(receivers)
-            offsets[user + 1] = offsets[user] + len(receivers)
-        flat = np.fromiter(
-            (r for chunk in chunks for r in chunk),
-            dtype=np.int64,
-            count=int(offsets[-1]),
-        )
-        return flat, offsets
-
-    def _candidate_csr(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Flat CSR of every user's replica-candidate list."""
-        offsets = np.zeros(n + 1, dtype=np.int64)
-        chunks = []
-        for user in range(n):
-            candidates = sorted(self.graph.replica_candidates(user))
-            chunks.append(candidates)
-            offsets[user + 1] = offsets[user] + len(candidates)
-        flat = np.fromiter(
-            (c for chunk in chunks for c in chunk),
-            dtype=np.int64,
-            count=int(offsets[-1]),
-        )
-        return flat, offsets
+        return self._plane.partners(user)
 
     @staticmethod
     def _segment_counts(
-        mask: np.ndarray, offsets: np.ndarray
+        alive: np.ndarray,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+        window: int,
     ) -> np.ndarray:
-        """Per-segment True counts of a flat mask under CSR offsets."""
-        prefix = np.zeros(len(mask) + 1, dtype=np.int64)
-        np.cumsum(mask, out=prefix[1:])
-        return prefix[offsets[1:]] - prefix[offsets[:-1]]
+        """Per-user count of alive entries in a flat CSR, chunked.
+
+        Equivalent to a whole-array ``alive[flat]`` cumsum prefix
+        differenced at ``offsets``, but processed one user window at a
+        time so the boolean mask and prefix transients stay bounded by
+        the window's segment span.
+        """
+        n = len(offsets) - 1
+        counts = np.empty(n, dtype=np.int64)
+        for lo in range(0, n, window):
+            hi = min(lo + window, n)
+            segment = alive[flat[offsets[lo] : offsets[hi]]]
+            prefix = np.zeros(len(segment) + 1, dtype=np.int64)
+            np.cumsum(segment, out=prefix[1:])
+            local = offsets[lo : hi + 1] - offsets[lo]
+            counts[lo:hi] = prefix[local[1:]] - prefix[local[:-1]]
+        return counts
 
     def _resolve_survivors(self, n: int) -> np.ndarray:
         """The filter fixpoint as a boolean alive mask over 0..N-1.
@@ -245,21 +418,31 @@ class ShardedDataset:
         each round keeps users whose surviving-receiver activity count
         meets the threshold (and, for Twitter, who retain at least one
         surviving candidate), until the kept set stops shrinking or the
-        round cap is hit.
+        round cap is hit.  The receiver survey and the per-round segment
+        counts both stream over bounded user windows — no whole-graph
+        python list-of-lists is ever held.
         """
         alive = np.ones(n, dtype=bool)
         if self.spec.min_activities == 0 and not self.spec.require_candidates:
             # Every user passes a zero threshold on round one.
             return alive
-        flat_recv, recv_offsets = self._survey_receivers(n)
+        flat_recv, recv_offsets = survey_receiver_rows(
+            self._partners,
+            self.params,
+            self.spec.seed,
+            n,
+            window=self._window,
+        )
         if self.spec.require_candidates:
-            cand_flat, cand_offsets = self._candidate_csr(n)
+            cand_flat, cand_offsets = self._plane.candidate_csr(self._window)
         for _ in range(_MAX_FILTER_ROUNDS):
-            counts = self._segment_counts(alive[flat_recv], recv_offsets)
+            counts = self._segment_counts(
+                alive, flat_recv, recv_offsets, self._window
+            )
             keep = alive & (counts >= self.spec.min_activities)
             if self.spec.require_candidates:
                 cand_alive = self._segment_counts(
-                    alive[cand_flat], cand_offsets
+                    alive, cand_flat, cand_offsets, self._window
                 )
                 keep &= cand_alive > 0
             if bool(np.array_equal(keep, alive)):
@@ -281,15 +464,61 @@ class ShardedDataset:
         for shard in range(self.num_shards):
             yield self.shard(shard)
 
+    def users_with_degree(
+        self, degree: int, *, max_degree: Optional[int] = None
+    ) -> List[UserId]:
+        """Surviving users whose *surviving*-candidate count equals
+        ``degree`` (or lies in ``[degree, max_degree]``).
+
+        Matches ``eager().graph.users_with_degree(...)``: the eager
+        pipeline's filtered graph keeps exactly the surviving users and
+        their edges, so a user's filtered degree is his alive-candidate
+        count.  This is the cohort-selection hook that lets the
+        experiment layer pick the paper's degree cohorts without ever
+        materialising the eager dataset.
+        """
+        counts = self._alive_candidate_counts()
+        hi = degree if max_degree is None else max_degree
+        keep = self._alive & (counts >= degree) & (counts <= hi)
+        return [int(u) for u in np.flatnonzero(keep)]
+
+    def _alive_candidate_counts(self) -> np.ndarray:
+        """Per-user count of surviving replica candidates (memoised)."""
+        cached = getattr(self, "_candidate_count_cache", None)
+        if cached is not None:
+            return cached
+        plane = self._plane
+        if isinstance(plane, _StreamPlane):
+            rows = plane.candidate_rows
+            counts = self._segment_counts(
+                self._alive, rows.indices, rows.indptr, self._window
+            )
+        else:
+            counts = np.zeros(plane.num_users, dtype=np.int64)
+            for user in range(plane.num_users):
+                if self._alive[user]:
+                    counts[user] = sum(
+                        1
+                        for c in plane.graph.replica_candidates(user)
+                        if self._alive[c]
+                    )
+        self._candidate_count_cache = counts
+        return counts
+
     def shard_users(self, shard: int) -> Tuple[UserId, ...]:
-        """The cohort slice owned by ``shard`` (contiguous, near-equal)."""
+        """The cohort slice owned by ``shard`` (contiguous, near-equal).
+
+        Uses the shared :func:`repro.partition.partition_bounds`
+        formula, so sweep shards, replay shards and dataset shards all
+        mean the same slice of a sorted cohort.
+        """
         if not 0 <= shard < self.num_shards:
             raise IndexError(
                 f"shard {shard} out of range 0..{self.num_shards - 1}"
             )
-        n = len(self._survivors)
-        lo = shard * n // self.num_shards
-        hi = (shard + 1) * n // self.num_shards
+        lo, hi = partition_bounds(len(self._survivors), self.num_shards)[
+            shard
+        ]
         return self._survivors[lo:hi]
 
     def shard_fingerprint(self, shard: int) -> str:
@@ -314,10 +543,10 @@ class ShardedDataset:
         cohort = self.shard_users(shard)
         closure = set(cohort)
         for user in cohort:
-            for candidate in self.graph.replica_candidates(user):
+            for candidate in self._plane.candidates(user):
                 if self._alive[candidate]:
                     closure.add(int(candidate))
-        subgraph = self.graph.subgraph(closure)
+        subgraph = self._plane.subgraph(closure)
         activities = []
         for creator in sorted(closure):
             for act in user_activities(

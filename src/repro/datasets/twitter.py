@@ -20,6 +20,7 @@ from repro.datasets.schema import Activity, ActivityTrace, Dataset
 from repro.datasets.synthesis import TraceParams, synthesize_tweet_trace
 from repro.graph.generators import powerlaw_follower_graph
 from repro.graph.io import PathOrFile, open_for_read, read_follower_graph
+from repro.graph.stream import stream_follower_graph
 
 #: Filtered-dataset statistics reported in the paper (§IV-A).
 PAPER_TWITTER_USERS = 14933
@@ -92,6 +93,7 @@ def synthetic_twitter(
     min_activities: int = 10,
     degree_alpha: float = _DEGREE_ALPHA,
     max_degree: Optional[int] = None,
+    graph_layout: str = "legacy",
 ) -> Dataset:
     """Build a synthetic Twitter-like dataset and run the paper's filter.
 
@@ -99,14 +101,23 @@ def synthetic_twitter(
     directed at followees over the trace's two-week window, so a user's
     received activity is created by his followers (his replica candidates).
     ``max_degree`` caps the follower-count support (``None`` keeps the
-    generator's default).
+    generator's default).  ``graph_layout`` selects ``"legacy"``
+    (sequential generator) or ``"stream"`` (per-user proposal streams —
+    the shard-native layout).
     """
-    rng = random.Random(seed)
     if params is None:
         params = TraceParams(trace_days=14, activities_mean=30.0)
-    graph = powerlaw_follower_graph(
-        num_users, degree_alpha, rng, max_followers=max_degree
-    )
+    if graph_layout == "stream":
+        graph = stream_follower_graph(
+            num_users, degree_alpha, seed, max_degree=max_degree
+        )
+    elif graph_layout == "legacy":
+        rng = random.Random(seed)
+        graph = powerlaw_follower_graph(
+            num_users, degree_alpha, rng, max_followers=max_degree
+        )
+    else:
+        raise ValueError(f"unknown graph_layout {graph_layout!r}")
     trace = synthesize_tweet_trace(graph, params, seed)
     dataset = Dataset(
         name=f"synthetic-twitter-{num_users}",

@@ -15,6 +15,8 @@ from repro.datasets import (
     Dataset,
     PAPER_FACEBOOK_USERS,
     PAPER_TWITTER_USERS,
+    ShardedDataset,
+    SyntheticSpec,
     synthetic_facebook,
     synthetic_twitter,
 )
@@ -99,3 +101,28 @@ def twitter_dataset(scale) -> Dataset:
     """The (cached) synthetic Twitter dataset for a scale."""
     scale = _resolve(scale)
     return _twitter(scale.twitter_users, scale.seed)
+
+
+@functools.lru_cache(maxsize=8)
+def _sharded(kind: str, users: int, seed: int, num_shards: int) -> ShardedDataset:
+    return ShardedDataset(
+        SyntheticSpec(kind=kind, num_users=users, seed=seed), num_shards
+    )
+
+
+def facebook_sharded(scale, num_shards: int) -> ShardedDataset:
+    """The (cached) sharded view of the scale's Facebook dataset.
+
+    Built from a :class:`SyntheticSpec` whose defaults match
+    :func:`repro.datasets.synthetic_facebook`, so shard datasets carry
+    the same users, candidates and activities as :func:`facebook_dataset`
+    — dataset-per-shard sweeps agree with whole-dataset ones.
+    """
+    scale = _resolve(scale)
+    return _sharded("facebook", scale.facebook_users, scale.seed, num_shards)
+
+
+def twitter_sharded(scale, num_shards: int) -> ShardedDataset:
+    """The (cached) sharded view of the scale's Twitter dataset."""
+    scale = _resolve(scale)
+    return _sharded("twitter", scale.twitter_users, scale.seed, num_shards)

@@ -31,8 +31,11 @@ from repro.core import (
     make_policy,
     placement_sequences,
     sweep_replication_degree,
+    sweep_replication_degree_datasets,
     sweep_session_length,
+    sweep_session_length_datasets,
     sweep_user_degree,
+    sweep_user_degree_datasets,
 )
 from repro.datasets import (
     PAPER_FACEBOOK_AVG_ACTIVITIES,
@@ -47,7 +50,9 @@ from repro.experiments.config import (
     BENCH,
     ExperimentScale,
     facebook_dataset,
+    facebook_sharded,
     twitter_dataset,
+    twitter_sharded,
 )
 from repro.experiments.report import ExperimentResult
 from repro.onlinetime import (
@@ -66,6 +71,36 @@ if TYPE_CHECKING:  # imported lazily: repro.cache imports repro.core
 
 #: Policy display order used throughout the paper's figures.
 POLICY_ORDER: Tuple[str, ...] = ("maxav", "mostactive", "random")
+
+#: Shard modes for the sweep experiments.  ``"cohort"`` (default)
+#: materialises the whole dataset and uses ``shards`` to slice each
+#: sweep's cohort fan-out (results bit-identical for every value).
+#: ``"dataset"`` never materialises the whole dataset: ``shards`` becomes
+#: the :class:`~repro.datasets.ShardedDataset` shard count and the sweeps
+#: stream one shard dataset at a time, merging per-shard aggregates —
+#: equal to cohort mode field for field up to float-summation order.
+COHORT_MODE = "cohort"
+DATASET_MODE = "dataset"
+SHARD_MODES: Tuple[str, ...] = (COHORT_MODE, DATASET_MODE)
+
+
+def check_shard_mode(shard_mode: str) -> str:
+    """Validate a shard-mode name."""
+    if shard_mode not in SHARD_MODES:
+        raise ValueError(
+            f"unknown shard mode {shard_mode!r}; choose from {SHARD_MODES}"
+        )
+    return shard_mode
+
+
+def _source(kind: str, scale: ExperimentScale, shard_mode: str, shards: int):
+    """The sweep input for a dataset kind: the eager dataset in cohort
+    mode, the :class:`ShardedDataset` view in dataset mode."""
+    check_shard_mode(shard_mode)
+    if shard_mode == DATASET_MODE:
+        sharded = facebook_sharded if kind == "facebook" else twitter_sharded
+        return sharded(scale, max(1, shards))
+    return facebook_dataset(scale) if kind == "facebook" else twitter_dataset(scale)
 
 #: The four online-time models shown in the multi-panel figures.
 def _panel_models() -> List[Tuple[str, OnlineTimeModel]]:
@@ -97,9 +132,19 @@ def _policies():
 
 def _cohort(dataset, scale: ExperimentScale) -> List[int]:
     """The paper's degree-10 cohort, widening the degree window only if the
-    (small, synthetic) dataset has no exact-degree users."""
+    (small, synthetic) dataset has no exact-degree users.
+
+    ``dataset`` is a :class:`Dataset` (degrees from its filtered graph)
+    or a :class:`ShardedDataset` (its own ``users_with_degree``); both
+    list matching users sorted ascending, so the selected cohort is
+    identical across sources.
+    """
+    if hasattr(dataset, "users_with_degree"):
+        by_degree = dataset.users_with_degree
+    else:
+        by_degree = dataset.graph.users_with_degree
     for widen in range(4):
-        users = dataset.graph.users_with_degree(
+        users = by_degree(
             max(1, scale.cohort_degree - widen),
             max_degree=scale.cohort_degree + widen,
         )
@@ -107,8 +152,13 @@ def _cohort(dataset, scale: ExperimentScale) -> List[int]:
             if scale.max_cohort_users and len(users) > scale.max_cohort_users:
                 users = users[: scale.max_cohort_users]
             return users
+    name = getattr(dataset, "name", None) or (
+        f"sharded {dataset.spec.kind} dataset"
+        if hasattr(dataset, "spec")
+        else "dataset"
+    )
     raise RuntimeError(
-        f"no users anywhere near degree {scale.cohort_degree} in {dataset.name}"
+        f"no users anywhere near degree {scale.cohort_degree} in {name}"
     )
 
 
@@ -132,11 +182,22 @@ def _panel_sweep(
     share their panel sweeps by content address — fig3/5/6/7 (and
     fig10/11 on Twitter) compute each model's sweep once per batch and
     the rest slice their metric columns from the cached series.
+
+    ``dataset`` may be a :class:`ShardedDataset` (dataset shard mode):
+    the sweep then streams one shard dataset at a time and ``shards``
+    already named the dataset shard count, so the inner fan-out is not
+    sharded again.
     """
+    is_sharded = hasattr(dataset, "shard")
+    sweep_fn = (
+        sweep_replication_degree_datasets
+        if is_sharded
+        else sweep_replication_degree
+    )
     users = _cohort(dataset, scale)
     label = _METRIC_LABELS[metric]
     for panel_name, model in models or _panel_models():
-        sweep = sweep_replication_degree(
+        sweep = sweep_fn(
             dataset,
             model,
             _policies(),
@@ -149,7 +210,7 @@ def _panel_sweep(
             engine=engine,
             backend=backend,
             cache=cache,
-            shards=shards,
+            shards=1 if is_sharded else shards,
         )
         rows = []
         for i, k in enumerate(DEGREES):
@@ -195,6 +256,7 @@ def table1_dataset_stats(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     """§IV-A in-text dataset statistics, measured vs paper."""
     result = ExperimentResult(
@@ -254,6 +316,7 @@ def fig2_degree_distribution(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     """Fig. 2: user degree distribution of both datasets."""
     result = ExperimentResult(
@@ -294,6 +357,7 @@ def fig3_fb_conrep_availability(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig3",
@@ -309,7 +373,7 @@ def fig3_fb_conrep_availability(
     )
     _panel_sweep(
         result,
-        facebook_dataset(scale),
+        _source("facebook", scale, shard_mode, shards),
         scale,
         mode=CONREP,
         metric="availability",
@@ -330,6 +394,7 @@ def fig4_fb_unconrep_availability(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig4",
@@ -349,7 +414,7 @@ def fig4_fb_unconrep_availability(
     ]
     _panel_sweep(
         result,
-        facebook_dataset(scale),
+        _source("facebook", scale, shard_mode, shards),
         scale,
         mode=UNCONREP,
         metric="availability",
@@ -371,6 +436,7 @@ def fig5_fb_conrep_aod_time(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig5",
@@ -386,7 +452,7 @@ def fig5_fb_conrep_aod_time(
     )
     _panel_sweep(
         result,
-        facebook_dataset(scale),
+        _source("facebook", scale, shard_mode, shards),
         scale,
         mode=CONREP,
         metric="aod_time",
@@ -407,6 +473,7 @@ def fig6_fb_conrep_aod_activity(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig6",
@@ -422,7 +489,7 @@ def fig6_fb_conrep_aod_activity(
     )
     _panel_sweep(
         result,
-        facebook_dataset(scale),
+        _source("facebook", scale, shard_mode, shards),
         scale,
         mode=CONREP,
         metric="aod_activity",
@@ -443,6 +510,7 @@ def fig7_fb_conrep_delay(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig7",
@@ -458,7 +526,7 @@ def fig7_fb_conrep_delay(
     )
     _panel_sweep(
         result,
-        facebook_dataset(scale),
+        _source("facebook", scale, shard_mode, shards),
         scale,
         mode=CONREP,
         metric="delay_hours_actual",
@@ -479,6 +547,7 @@ def fig8_session_length(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig8",
@@ -492,9 +561,13 @@ def fig8_session_length(
             "on-demand metrics, and sharply cut the propagation delay."
         ),
     )
-    dataset = facebook_dataset(scale)
+    dataset = _source("facebook", scale, shard_mode, shards)
+    is_sharded = hasattr(dataset, "shard")
+    sweep_fn = (
+        sweep_session_length_datasets if is_sharded else sweep_session_length
+    )
     users = _cohort(dataset, scale)
-    sweep = sweep_session_length(
+    sweep = sweep_fn(
         dataset,
         SESSION_LENGTHS,
         _policies(),
@@ -507,7 +580,7 @@ def fig8_session_length(
         engine=engine,
         backend=backend,
         cache=cache,
-        shards=shards,
+        shards=1 if is_sharded else shards,
     )
     for metric, label in _METRIC_LABELS.items():
         rows = []
@@ -542,6 +615,7 @@ def fig9_user_degree(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig9",
@@ -557,9 +631,11 @@ def fig9_user_degree(
             "thus sees lower delay."
         ),
     )
-    dataset = facebook_dataset(scale)
+    dataset = _source("facebook", scale, shard_mode, shards)
+    is_sharded = hasattr(dataset, "shard")
+    sweep_fn = sweep_user_degree_datasets if is_sharded else sweep_user_degree
     user_degrees = list(range(1, 11))
-    sweep = sweep_user_degree(
+    sweep = sweep_fn(
         dataset,
         SporadicModel(),
         _policies(),
@@ -572,7 +648,7 @@ def fig9_user_degree(
         engine=engine,
         backend=backend,
         cache=cache,
-        shards=shards,
+        shards=1 if is_sharded else shards,
     )
 
     def row_of(metric):
@@ -630,6 +706,7 @@ def fig10_tw_conrep_availability(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig10",
@@ -642,7 +719,7 @@ def fig10_tw_conrep_availability(
     )
     _panel_sweep(
         result,
-        twitter_dataset(scale),
+        _source("twitter", scale, shard_mode, shards),
         scale,
         mode=CONREP,
         metric="availability",
@@ -663,6 +740,7 @@ def fig11_tw_conrep_aod_time(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig11",
@@ -679,7 +757,7 @@ def fig11_tw_conrep_aod_time(
     )
     _panel_sweep(
         result,
-        twitter_dataset(scale),
+        _source("twitter", scale, shard_mode, shards),
         scale,
         mode=CONREP,
         metric="aod_time",
@@ -705,6 +783,7 @@ def x1_des_validation(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     """Replay a placed cohort in the discrete-event simulator and compare
     the empirical measurements against the closed-form metrics."""
@@ -810,6 +889,7 @@ def x2_expected_unexpected(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     """§IV-B: the expected/unexpected split of profile activity.
 
@@ -899,6 +979,7 @@ def x3_observed_vs_actual_delay(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     """§II-C3: the observed propagation delay vs the actual one.
 
@@ -919,10 +1000,16 @@ def x3_observed_vs_actual_delay(
             "session-based schedules."
         ),
     )
-    dataset = facebook_dataset(scale)
+    dataset = _source("facebook", scale, shard_mode, shards)
+    is_sharded = hasattr(dataset, "shard")
+    sweep_fn = (
+        sweep_replication_degree_datasets
+        if is_sharded
+        else sweep_replication_degree
+    )
     users = _cohort(dataset, scale)
     for panel_name, model in _panel_models():
-        sweep = sweep_replication_degree(
+        sweep = sweep_fn(
             dataset,
             model,
             [make_policy("maxav")],
@@ -963,6 +1050,7 @@ def x4_hosting_fairness(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     """§II-B1: fairness of the hosting load across the whole network.
 
@@ -1044,6 +1132,7 @@ def x5_owner_notification(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     """§II requirement: the owner should receive updates on his profile
     even when they arrive while he is offline.
@@ -1135,6 +1224,7 @@ def x6_scaled_replay(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     """Full-feature DES replay through the sharded/vectorized pipeline.
 
@@ -1302,6 +1392,7 @@ def run_experiment(
     backend: str = PYTHON,
     cache: Optional["SweepCache"] = None,
     shards: int = 1,
+    shard_mode: str = COHORT_MODE,
 ) -> ExperimentResult:
     """Run one experiment by id at the given scale.
 
@@ -1321,7 +1412,15 @@ def run_experiment(
     many contiguous slices dispatched one slice at a time, bounding how
     much per-user state is in flight at once — an execution knob like
     ``jobs``/``engine``/``backend``, so results (and sweep-cache keys)
-    are bit-identical for every value.  Phase wall-clock/throughput timings — plus cache
+    are bit-identical for every value.  ``shard_mode`` selects how the
+    sweep experiments consume their dataset: ``"cohort"`` (default)
+    materialises the whole dataset; ``"dataset"`` streams it shard by
+    shard (``shards`` then names the dataset shard count) — one shard's
+    graph, trace and schedules in memory at a time, per-shard aggregates
+    merged, equal to cohort mode field for field up to float-summation
+    order.  Experiments that run no degree sweep (table1, fig2, and the
+    x-series diagnostics other than x3) accept and ignore it, as they
+    materialise their dataset eagerly either way.  Phase wall-clock/throughput timings — plus cache
     hit/miss and pool start/reuse counters when a shared ``cache`` /
     ``executor`` is threaded through — land in ``result.timings`` as
     *this experiment's* deltas and are serialised into the experiment's
@@ -1334,6 +1433,7 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; choose from "
             f"{experiment_ids()}"
         ) from None
+    check_shard_mode(shard_mode)
     owns_executor = executor is None
     if owns_executor:
         executor = ParallelExecutor(jobs=jobs)
@@ -1350,6 +1450,7 @@ def run_experiment(
             backend=backend,
             cache=cache,
             shards=shards,
+            shard_mode=shard_mode,
         )
     finally:
         if owns_executor:
@@ -1360,6 +1461,7 @@ def run_experiment(
         "engine": engine,
         "backend": backend,
         "shards": shards,
+        "shard_mode": shard_mode,
         "phases": executor.timings_since(timing_mark),
         "pool": executor.pool_stats.since(pool_mark),
     }

@@ -232,6 +232,7 @@ def summarize_batch(
     engine: str,
     backend: str,
     shards: int = 1,
+    shard_mode: str = "cohort",
     cache: Optional[SweepCache] = None,
     executor: Optional[ParallelExecutor] = None,
     skipped: Optional[List[str]] = None,
@@ -266,6 +267,7 @@ def summarize_batch(
         "engine": engine,
         "backend": backend,
         "shards": shards,
+        "shard_mode": shard_mode,
         "num_experiments": len(results),
         "total_seconds": round(
             sum(r.timings.get("total_seconds", 0.0) for r in results), 6
@@ -358,6 +360,7 @@ def run_batch(
     engine: str = INCREMENTAL,
     backend: str = PYTHON,
     shards: int = 1,
+    shard_mode: str = "cohort",
     cache: Optional[SweepCache] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     use_cache: bool = True,
@@ -377,7 +380,10 @@ def run_batch(
     the timeline kernels (``"python"`` default, ``"numpy"`` vectorised —
     same output either way); ``shards`` splits each sweep cohort into
     contiguous slices dispatched one at a time (again bit-identical —
-    a memory knob, not a semantic one).
+    a memory knob, not a semantic one).  ``shard_mode="dataset"`` makes
+    the sweep experiments stream the dataset shard by shard instead of
+    materialising it whole (``shards`` then names the dataset shard
+    count); results agree with cohort mode up to float-summation order.
 
     One :class:`~repro.cache.SweepCache` spans the whole batch (pass
     ``cache`` to share one across batches, ``cache_dir`` for the
@@ -446,6 +452,7 @@ def run_batch(
                     backend=backend,
                     cache=cache,
                     shards=shards,
+                    shard_mode=shard_mode,
                 )
             except BaseException:
                 journal.mark(eid, FAILED)
@@ -470,6 +477,7 @@ def run_batch(
             engine=engine,
             backend=backend,
             shards=shards,
+            shard_mode=shard_mode,
             cache=cache,
             executor=executor,
             skipped=skipped,

@@ -1,6 +1,7 @@
 """Social-graph substrate: structures, generators, and edge-list I/O."""
 
 from repro.graph.generators import (
+    PowerlawSupport,
     barabasi_albert,
     configuration_graph,
     erdos_renyi,
@@ -15,19 +16,40 @@ from repro.graph.io import (
     write_graph,
 )
 from repro.graph.social_graph import FollowerGraph, SocialGraph, UserId
+from repro.graph.stream import (
+    GRAPH_STREAM_VERSION,
+    CsrRows,
+    graph_stream,
+    proposal_rows,
+    stream_adjacency,
+    stream_follower_graph,
+    stream_follower_rows,
+    stream_social_graph,
+    user_proposals,
+)
 
 __all__ = [
+    "CsrRows",
     "FollowerGraph",
+    "GRAPH_STREAM_VERSION",
+    "PowerlawSupport",
     "SocialGraph",
     "UserId",
     "barabasi_albert",
     "configuration_graph",
     "erdos_renyi",
+    "graph_stream",
     "powerlaw_degree_sequence",
     "powerlaw_follower_graph",
     "preferential_follower_graph",
+    "proposal_rows",
     "read_follower_graph",
     "read_friendship_graph",
     "ring_of_cliques",
+    "stream_adjacency",
+    "stream_follower_graph",
+    "stream_follower_rows",
+    "stream_social_graph",
+    "user_proposals",
     "write_graph",
 ]

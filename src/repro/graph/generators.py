@@ -125,6 +125,64 @@ def preferential_follower_graph(
     return graph
 
 
+class PowerlawSupport:
+    """Inverse-CDF sampler for the discrete power law ``P(d) ∝ d^-alpha``
+    on ``[min_degree, max_degree]``.
+
+    The cumulative table and the binary search are shared between the
+    legacy sequential degree sequence (:func:`powerlaw_degree_sequence`)
+    and the stream-per-user graph layout (:mod:`repro.graph.stream`), so
+    both layouts draw from the *same* marginal distribution.  The default
+    ``max_degree`` is ``num_users ** 0.75``, matching the sequence
+    generator's historical default.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        alpha: float,
+        *,
+        min_degree: int = 1,
+        max_degree: int | None = None,
+    ) -> None:
+        if alpha <= 1:
+            raise ValueError(
+                "alpha must be > 1 for a normalisable power law"
+            )
+        if min_degree < 1:
+            raise ValueError("min_degree must be >= 1")
+        if max_degree is None:
+            max_degree = max(min_degree + 1, int(round(num_users ** 0.75)))
+        if max_degree <= min_degree:
+            raise ValueError("max_degree must exceed min_degree")
+        self.min_degree = min_degree
+        self.max_degree = max_degree
+        weights = [d ** (-alpha) for d in range(min_degree, max_degree + 1)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cumulative.append(acc / total)
+        self._cumulative = cumulative
+
+    def draw(self, r: float) -> int:
+        """The degree whose CDF bucket contains ``r`` (``0 <= r < 1``)."""
+        cumulative = self._cumulative
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < r:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.min_degree + lo
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one degree, consuming one uniform from ``rng``."""
+        return self.draw(rng.random())
+
+
 def powerlaw_degree_sequence(
     num_users: int,
     alpha: float,
@@ -142,35 +200,10 @@ def powerlaw_degree_sequence(
     low degrees, which Barabási–Albert (minimum degree = m) cannot produce;
     this sequence can.
     """
-    if alpha <= 1:
-        raise ValueError("alpha must be > 1 for a normalisable power law")
-    if min_degree < 1:
-        raise ValueError("min_degree must be >= 1")
-    if max_degree is None:
-        max_degree = max(min_degree + 1, int(round(num_users ** 0.75)))
-    if max_degree <= min_degree:
-        raise ValueError("max_degree must exceed min_degree")
-
-    support = range(min_degree, max_degree + 1)
-    weights = [d ** (-alpha) for d in support]
-    total = sum(weights)
-    cumulative = []
-    acc = 0.0
-    for w in weights:
-        acc += w
-        cumulative.append(acc / total)
-
-    degrees: List[int] = []
-    for _ in range(num_users):
-        r = rng.random()
-        lo, hi = 0, len(cumulative) - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if cumulative[mid] < r:
-                lo = mid + 1
-            else:
-                hi = mid
-        degrees.append(min_degree + lo)
+    support = PowerlawSupport(
+        num_users, alpha, min_degree=min_degree, max_degree=max_degree
+    )
+    degrees: List[int] = [support.sample(rng) for _ in range(num_users)]
     if sum(degrees) % 2:
         degrees[rng.randrange(num_users)] += 1
     return degrees

@@ -24,7 +24,7 @@ combination, which is also why the replay cache key
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
@@ -32,6 +32,7 @@ from repro.onlinetime.base import Schedules
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.supervise import is_quarantined
 from repro.parallel.worker import ReplayPayload, replay_shards_chunk
+from repro.partition import clamp_parts, partition_slices
 from repro.simulator.osn import DecentralizedOSN, Placements, ReplayConfig
 from repro.simulator.stats import SimulationStats
 from repro.simulator.vectorized import VectorizedReplay
@@ -65,19 +66,15 @@ def shard_owners(
 ) -> Tuple[Tuple[UserId, ...], ...]:
     """Disjoint, jointly-covering owner cohorts, one per shard.
 
-    Owners are sorted and split contiguously; at most ``len(placements)``
-    shards (never an empty shard), at least one.
+    Owners are sorted and split contiguously through the shared
+    :func:`repro.partition.partition_slices` formula — the same slices a
+    sweep shard or a :class:`~repro.datasets.ShardedDataset` shard would
+    cover; at most ``len(placements)`` shards (never an empty shard), at
+    least one.  Merged replay statistics are partition-independent, so
+    the chunk shapes are an execution detail, not a semantic one.
     """
     owners = sorted(placements)
-    count = max(1, min(int(shards), len(owners) or 1))
-    base, extra = divmod(len(owners), count)
-    chunks: List[Tuple[UserId, ...]] = []
-    start = 0
-    for i in range(count):
-        size = base + (1 if i < extra else 0)
-        chunks.append(tuple(owners[start : start + size]))
-        start += size
-    return tuple(chunks)
+    return partition_slices(owners, clamp_parts(shards, len(owners)))
 
 
 def _replay_single(

@@ -1,0 +1,80 @@
+"""Properties of the shared contiguous-partition utility.
+
+Every sharding layer (sweep cohort fan-out, DES replay shards, dataset
+shards) must mean the same thing by "shard k of n": these tests pin the
+partition law once, and check the call sites stay on it.
+"""
+
+import pytest
+
+from repro.partition import clamp_parts, partition_bounds, partition_slices
+
+
+class TestPartitionBounds:
+    @pytest.mark.parametrize("num_items", [0, 1, 2, 7, 64, 1000])
+    @pytest.mark.parametrize("parts", [1, 2, 3, 7, 64])
+    def test_contiguous_disjoint_covering(self, num_items, parts):
+        bounds = partition_bounds(num_items, parts)
+        assert len(bounds) == parts
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == num_items
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo  # contiguous, disjoint, order-stable
+        for lo, hi in bounds:
+            assert lo <= hi
+
+    @pytest.mark.parametrize("num_items", [5, 17, 100])
+    @pytest.mark.parametrize("parts", [1, 2, 3, 5])
+    def test_near_equal_and_never_empty(self, num_items, parts):
+        sizes = [hi - lo for lo, hi in partition_bounds(num_items, parts)]
+        assert max(sizes) - min(sizes) <= 1
+        if parts <= num_items:
+            assert min(sizes) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_bounds(10, 0)
+        with pytest.raises(ValueError):
+            partition_bounds(-1, 2)
+
+
+class TestPartitionSlices:
+    def test_order_stable_cover(self):
+        items = ["e", "a", "c", "b", "d"]
+        chunks = partition_slices(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_more_parts_than_items(self):
+        chunks = partition_slices([1, 2], 5)
+        assert len(chunks) == 5
+        assert [x for chunk in chunks for x in chunk] == [1, 2]
+
+
+class TestClampParts:
+    def test_clamps_into_valid_range(self):
+        assert clamp_parts(0, 10) == 1
+        assert clamp_parts(5, 10) == 5
+        assert clamp_parts(50, 10) == 10
+        assert clamp_parts(3, 0) == 1
+
+
+class TestCallSitesAgree:
+    def test_replay_shard_owners_uses_the_shared_law(self):
+        from repro.simulator.replay import shard_owners
+
+        placements = {u: (u + 1,) for u in range(23)}
+        owners = sorted(placements)
+        for shards in (1, 2, 5, 23, 40):
+            got = shard_owners(placements, shards)
+            want = partition_slices(owners, clamp_parts(shards, len(owners)))
+            assert got == want
+
+    def test_sharded_dataset_shard_users_uses_the_shared_law(self):
+        from repro.datasets import ShardedDataset, SyntheticSpec
+
+        sharded = ShardedDataset(
+            SyntheticSpec(kind="facebook", num_users=150, seed=4), 4
+        )
+        bounds = partition_bounds(len(sharded.survivors), 4)
+        for shard, (lo, hi) in enumerate(bounds):
+            assert sharded.shard_users(shard) == sharded.survivors[lo:hi]
