@@ -102,3 +102,45 @@ def test_perf_schedule_generation(benchmark):
 
     schedules = benchmark(compute_schedules, dataset, model, seed=1)
     assert len(schedules) == dataset.num_users
+
+
+def test_perf_single_overlap_row(benchmark):
+    # One point query's cold overlap work: a single OverlapCache row
+    # (owner vs all candidates) — the unit the query plane's micro-batch
+    # prewarm amortises across requests.
+    from repro.core.connectivity import OverlapCache
+    from repro.onlinetime import packed_schedules
+
+    dataset, schedules = _schedules()
+    packed = packed_schedules(dataset, SporadicModel(), seed=BENCH.seed)
+    users = _cohort(dataset, BENCH)
+    owner = users[0]
+    candidates = sorted(dataset.replica_candidates(owner))
+
+    def one_row():
+        cache = OverlapCache(schedules, packed)
+        return cache.overlap_row(owner, candidates)
+
+    row = benchmark(one_row)
+    assert len(row) == len(candidates)
+
+
+def test_perf_single_setcover_gain(benchmark):
+    # One greedy set-cover gain evaluation: the scalar primitive behind
+    # each MaxAv selection step a point query performs.
+    from repro.core.setcover import IntervalUniverse
+
+    dataset, schedules = _schedules()
+    users = _cohort(dataset, BENCH)
+    owner = users[0]
+    candidates = sorted(dataset.replica_candidates(owner))
+    universe = IntervalSet.full_day()
+    covered = schedules[owner]
+
+    def gains():
+        uni = IntervalUniverse(universe, covered)
+        return [uni.gain(schedules[c]) for c in candidates]
+
+    values = benchmark(gains)
+    assert len(values) == len(candidates)
+    assert all(v >= 0 for v in values)

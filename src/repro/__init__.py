@@ -24,6 +24,7 @@ from repro.core import (
     RandomPlacement,
     ReplicaGroup,
     UserMetrics,
+    evaluate_single,
     evaluate_user,
     make_policy,
     select_cohort,
@@ -78,6 +79,7 @@ __all__ = [
     "compute_schedules",
     "derive_rng",
     "derive_seed",
+    "evaluate_single",
     "evaluate_user",
     "make_model",
     "make_policy",

@@ -12,6 +12,7 @@ exactly once and every consumer slices the identical floats.
 from repro.cache.keys import (
     CACHE_FORMAT_VERSION,
     dataset_fingerprint,
+    point_query_key,
     replay_cache_key,
     sweep_cache_key,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "CacheStats",
     "SweepCache",
     "dataset_fingerprint",
+    "point_query_key",
     "replay_cache_key",
     "sweep_cache_key",
 ]

@@ -111,6 +111,42 @@ def replay_cache_key(
     return hashlib.sha256(canonical_key_bytes(*parts)).hexdigest()
 
 
+def point_query_key(
+    dataset: Dataset,
+    model: OnlineTimeModel,
+    policy: PlacementPolicy,
+    *,
+    mode: str,
+    user: UserId,
+    k: int,
+    seed: int,
+) -> str:
+    """The content address of one user's point-query metrics.
+
+    Covers exactly what determines the floats of a single
+    :func:`~repro.core.evaluation.evaluate_single` result: the dataset
+    content, the online-time model, the placement policy, the regime,
+    the schedule/placement seed, the user, and the allowed degree.
+    Execution knobs — engine, backend, warm plane state, micro-batching
+    — are deliberately excluded: the query plane's determinism contract
+    makes every path bit-identical, so one entry serves them all, and a
+    query result computed by any plane is valid for every other plane
+    over the same inputs (and vice versa for sweep-derived entries).
+    """
+    parts = (
+        "query",
+        CACHE_FORMAT_VERSION,
+        dataset_fingerprint(dataset),
+        tuple(model.cache_key()),
+        tuple(policy.cache_key()),
+        mode,
+        int(seed),
+        int(user),
+        int(k),
+    )
+    return hashlib.sha256(canonical_key_bytes(*parts)).hexdigest()
+
+
 def sweep_cache_key(
     dataset: Dataset,
     model: OnlineTimeModel,

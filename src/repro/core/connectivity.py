@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -95,26 +96,64 @@ class OverlapCache:
     (``packed.exact``), where its sums are guaranteed identical to the
     merge scan; otherwise the row fill silently degrades to the scalar
     scan, so cache contents never depend on the backend.
+
+    ``max_rows`` bounds the memory of a long-lived instance (the warm
+    query plane keeps one per resident user): at most that many pairwise
+    entries are retained, least-recently-used evicted first.  Eviction
+    only forgets *memoized* values — a later lookup recomputes the
+    identical float — so a bounded cache returns the same results as an
+    unbounded one, just with more recomputation past the bound.  The
+    default (``None``) keeps today's unbounded dict with zero overhead.
     """
 
-    __slots__ = ("_schedules", "_cache", "_packed")
+    __slots__ = ("_schedules", "_cache", "_packed", "_max_rows", "evictions")
 
     def __init__(
         self,
         schedules: Mapping[UserId, IntervalSet],
         packed: Optional[PackedSchedules] = None,
+        *,
+        max_rows: Optional[int] = None,
     ):
+        if max_rows is not None and max_rows < 1:
+            raise ValueError("max_rows must be >= 1 (or None for unbounded)")
         self._schedules = schedules
-        self._cache: Dict[Tuple[UserId, UserId], float] = {}
+        self._cache: Dict[Tuple[UserId, UserId], float] = (
+            OrderedDict() if max_rows is not None else {}
+        )
         self._packed = packed if packed is not None and packed.exact else None
+        self._max_rows = max_rows
+        #: Entries dropped by the LRU bound (0 while unbounded).
+        self.evictions = 0
 
     @property
     def vectorized(self) -> bool:
         """Whether the packed row-fill kernel is engaged."""
         return self._packed is not None
 
+    @property
+    def max_rows(self) -> Optional[int]:
+        """The LRU entry bound (``None`` = unbounded)."""
+        return self._max_rows
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
     def schedule_of(self, user: UserId) -> IntervalSet:
         return self._schedules.get(user, _EMPTY)
+
+    def _touch(self, key: Tuple[UserId, UserId]) -> None:
+        if self._max_rows is not None:
+            self._cache.move_to_end(key)
+
+    def _store(self, key: Tuple[UserId, UserId], value: float) -> None:
+        cache = self._cache
+        cache[key] = value
+        if self._max_rows is not None:
+            cache.move_to_end(key)
+            while len(cache) > self._max_rows:
+                cache.popitem(last=False)
+                self.evictions += 1
 
     def overlap(self, a: UserId, b: UserId) -> float:
         """Seconds per day both users are online (memoized, symmetric)."""
@@ -122,12 +161,27 @@ class OverlapCache:
         value = self._cache.get(key)
         if value is None:
             value = self.schedule_of(a).overlap(self.schedule_of(b))
-            self._cache[key] = value
+            self._store(key, value)
+        else:
+            self._touch(key)
         return value
 
     def overlaps(self, a: UserId, b: UserId) -> bool:
         """Whether the two users are connected in time."""
         return self.overlap(a, b) > 0
+
+    def seed(self, a: UserId, b: UserId, value: float) -> None:
+        """Install an externally computed overlap (micro-batch prefill).
+
+        The caller guarantees ``value`` equals
+        ``schedule_of(a).overlap(schedule_of(b))`` bit for bit — e.g. a
+        :meth:`PackedSchedules.overlap_pairs` result under the
+        integral-endpoint gate — so seeding never changes what a lookup
+        returns, only when it is computed.  Existing entries win.
+        """
+        key = (a, b) if a <= b else (b, a)
+        if key not in self._cache:
+            self._store(key, float(value))
 
     def overlap_row(
         self, a: UserId, others: Iterable[UserId]
@@ -139,18 +193,27 @@ class OverlapCache:
         are identical to the scalar path either way.
         """
         others = list(others)
-        cache = self._cache
         if self._packed is not None:
-            missing = [
-                o
-                for o in others
-                if ((a, o) if a <= o else (o, a)) not in cache
-            ]
+            cache = self._cache
+            out: List[Optional[float]] = [None] * len(others)
+            missing: List[UserId] = []
+            missing_pos: List[int] = []
+            for i, o in enumerate(others):
+                key = (a, o) if a <= o else (o, a)
+                value = cache.get(key)
+                if value is None:
+                    missing.append(o)
+                    missing_pos.append(i)
+                else:
+                    self._touch(key)
+                    out[i] = value
             if missing:
                 filled = self._packed.overlap_row(a, missing)
-                for o, value in zip(missing, filled):
-                    cache[(a, o) if a <= o else (o, a)] = float(value)
-            return [cache[(a, o) if a <= o else (o, a)] for o in others]
+                for i, o, value in zip(missing_pos, missing, filled):
+                    value = float(value)
+                    self._store((a, o) if a <= o else (o, a), value)
+                    out[i] = value
+            return out
         return [self.overlap(a, o) for o in others]
 
 

@@ -48,6 +48,7 @@ from repro.parallel import (
     ParallelExecutor,
     PlacementPayload,
     SweepPayload,
+    evaluate_user_cell,
     evaluate_users_chunk,
     is_quarantined,
     select_sequences_chunk,
@@ -175,12 +176,18 @@ class AggregateMetrics:
             return sum(get(p) * p.num_users for p in parts) / total
 
         def by_finite(get, finite) -> float:
+            # Zero-weight parts are skipped, not multiplied by 0: a part
+            # with no finite-delay users may carry a NaN (or any
+            # placeholder) in the delay field, and NaN * 0 would poison
+            # the sum.  Skipping adds nothing for finite values either,
+            # so all-finite inputs are unchanged bit for bit.
             weights = [finite(p) for p in parts]
             denom = sum(weights)
             if not denom:
                 return 0.0
             return (
-                sum(get(p) * w for p, w in zip(parts, weights)) / denom
+                sum(get(p) * w for p, w in zip(parts, weights) if w)
+                / denom
             )
 
         return AggregateMetrics(
@@ -227,8 +234,11 @@ class AggregateMetrics:
             total = sum(weights)
             if not total:
                 return 0.0
+            # Skip zero-weight repeats (see AggregateMetrics.merge): a
+            # repeat whose every delay was infinite contributes nothing,
+            # and must not poison the sum if its field is non-finite.
             return (
-                sum(v * w for v, w in zip(values, weights)) / total
+                sum(v * w for v, w in zip(values, weights) if w) / total
             )
 
         actual_weights = [
@@ -385,6 +395,78 @@ def evaluate_placements(
             for user, seq in sequences.items()
         ]
     return AggregateMetrics.from_users(per_user)
+
+
+def evaluate_single(
+    dataset: Dataset,
+    schedules,
+    user: UserId,
+    policy: PlacementPolicy,
+    k: int,
+    *,
+    mode: str = CONREP,
+    engine: str = INCREMENTAL,
+    backend: str = PYTHON,
+    seed: int = 0,
+    model: Optional[OnlineTimeModel] = None,
+    model_seed: Optional[int] = None,
+    packed: Optional[PackedSchedules] = None,
+    evaluator: Optional[IncrementalGroupEvaluator] = None,
+    sequence: Optional[Sequence[UserId]] = None,
+) -> UserMetrics:
+    """Metrics for ONE user's degree-``k`` placement under one policy.
+
+    The point-query counterpart of :func:`sweep_replication_degree`,
+    factored out of the sweep loop so an interactive caller (the warm
+    query plane, the ``repro-osn query`` CLI) pays only one user's work.
+    It routes through the very same per-user kernel the sweeps fan out
+    (:func:`repro.parallel.evaluate_user_cell`), so the returned metrics
+    are bit-identical to the degree-``k`` entry of a batch sweep that
+    includes this user — for every engine/backend combination, under any
+    ``PYTHONHASHSEED`` (property-tested in ``tests/query``).
+
+    The user's RNG derives from ``(seed, policy.name, user)`` exactly as
+    in the sweeps, and the incremental-selection property makes the
+    degree-``k`` selection the exact prefix of any higher-degree
+    selection, so a *single* degree matches the sweep's prefix slice.
+
+    Warm-state hooks: ``packed`` reuses an existing packing (built from
+    the per-``(model, seed)`` memo when ``model`` is given and the
+    backend is numpy); ``evaluator`` reuses a resident per-user
+    :class:`IncrementalGroupEvaluator`; ``sequence`` supplies a
+    pre-computed selection (may be longer than ``k`` — only the prefix
+    is used).  All three change *when* work happens, never the floats.
+    """
+    check_engine(engine)
+    if packed is None:
+        packed = _pack_for_backend(
+            schedules,
+            backend,
+            dataset=dataset,
+            model=model,
+            seed=seed if model_seed is None else model_seed,
+        )
+    else:
+        check_backend(backend)
+    payload = SweepPayload(
+        dataset=dataset,
+        schedules=schedules,
+        policies=(policy,),
+        mode=mode,
+        degrees=(int(k),),
+        max_degree=int(k),
+        seed=seed,
+        engine=engine,
+        backend=backend,
+        packed=packed,
+    )
+    sequences = (
+        {policy.name: tuple(sequence)} if sequence is not None else None
+    )
+    cell = evaluate_user_cell(
+        payload, user, evaluator=evaluator, sequences=sequences
+    )
+    return cell[policy.name][0]
 
 
 def sweep_replication_degree(

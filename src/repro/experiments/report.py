@@ -115,7 +115,34 @@ class ExperimentResult:
             bits.append(
                 f"cache: {cache['hits']} hits, {cache['misses']} misses"
                 + (f", {cache['stale']} stale" if cache.get("stale") else "")
+                + (
+                    f", {cache['stores']} stores"
+                    if cache.get("stores")
+                    else ""
+                )
+                + (
+                    f", {cache['disk_hits']} disk hits"
+                    if cache.get("disk_hits")
+                    else ""
+                )
             )
+        plane = self.timings.get("query_plane")
+        if plane is not None:
+            line = (
+                f"query plane: {plane['queries']} queries, "
+                f"{plane['result_hits']} result hits, "
+                f"{plane['store_hits']} store hits, "
+                f"{plane['batched']} batched"
+            )
+            for lru in ("evaluators", "sequences", "results"):
+                stats = plane.get(lru)
+                if stats:
+                    line += (
+                        f"; {lru} {stats['entries']}/{stats['max_entries']}"
+                        f" ({stats['hits']} hits, "
+                        f"{stats['evictions']} evicted)"
+                    )
+            bits.append(line)
         pool = self.timings.get("pool")
         if pool and (pool.get("starts") or pool.get("reuses")):
             line = f"pool: {pool['starts']} starts, {pool['reuses']} reuses"

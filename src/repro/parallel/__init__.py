@@ -45,6 +45,7 @@ from repro.parallel.supervise import (
 from repro.parallel.worker import (
     PlacementPayload,
     SweepPayload,
+    evaluate_user_cell,
     evaluate_users_chunk,
     packed_token,
     select_sequences_chunk,
@@ -70,6 +71,7 @@ __all__ = [
     "QuarantinedItem",
     "RetryPolicy",
     "SweepPayload",
+    "evaluate_user_cell",
     "evaluate_users_chunk",
     "fork_available",
     "is_quarantined",

@@ -127,6 +127,66 @@ def _sequence_for(
     return policy.select(ctx, payload.max_degree)
 
 
+def evaluate_user_cell(
+    payload: SweepPayload,
+    user: UserId,
+    *,
+    evaluator: Optional[IncrementalGroupEvaluator] = None,
+    sequences: Optional[Dict[str, Tuple[UserId, ...]]] = None,
+) -> UserCell:
+    """One user's sweep cell: sequence + per-degree metrics, all policies.
+
+    This is THE per-user compute body — the sweep chunks below and the
+    warm query plane (:mod:`repro.query`) both call it, which is what
+    makes point-query results bit-identical to the batch sweep by
+    construction.  ``evaluator`` reuses a resident
+    :class:`IncrementalGroupEvaluator` for the user (the plane's warm
+    state; one is built fresh when omitted, as the sweeps do) and
+    ``sequences`` supplies pre-computed selection sequences by policy
+    name — any policy absent from it is selected here at
+    ``payload.max_degree``.  A supplied sequence may be *longer* than
+    the largest swept degree: only its prefix is walked, and the
+    incremental-selection property guarantees that prefix is exactly
+    what a fresh selection at that degree would return.
+    """
+    incremental = check_engine(payload.engine) == INCREMENTAL
+    cell: UserCell = {}
+    if incremental:
+        if evaluator is None:
+            evaluator = IncrementalGroupEvaluator(
+                payload.dataset,
+                payload.schedules,
+                user,
+                mode=payload.mode,
+                packed=payload.packed,
+            )
+        cache = evaluator.overlap_cache
+    else:
+        evaluator = cache = None
+    for policy in payload.policies:
+        sequence = None if sequences is None else sequences.get(policy.name)
+        if sequence is None:
+            sequence = _sequence_for(payload, policy, user, cache)
+        if evaluator is not None:
+            cell[policy.name] = evaluator.evaluate_prefixes(
+                sequence, payload.degrees
+            )
+        else:
+            cell[policy.name] = tuple(
+                evaluate_user(
+                    payload.dataset,
+                    payload.schedules,
+                    user,
+                    sequence[:k],
+                    allowed_degree=k,
+                    mode=payload.mode,
+                    packed=payload.packed,
+                )
+                for k in payload.degrees
+            )
+    return cell
+
+
 def evaluate_users_chunk(
     payload: SweepPayload, users: Sequence[UserId]
 ) -> List[UserCell]:
@@ -139,42 +199,7 @@ def evaluate_users_chunk(
     evaluated in one forward pass, and the per-user overlap matrix is
     shared between placement filtering and evaluation across all policies.
     """
-    incremental = check_engine(payload.engine) == INCREMENTAL
-    out: List[UserCell] = []
-    for user in users:
-        cell: UserCell = {}
-        if incremental:
-            evaluator = IncrementalGroupEvaluator(
-                payload.dataset,
-                payload.schedules,
-                user,
-                mode=payload.mode,
-                packed=payload.packed,
-            )
-            cache = evaluator.overlap_cache
-        else:
-            evaluator = cache = None
-        for policy in payload.policies:
-            sequence = _sequence_for(payload, policy, user, cache)
-            if evaluator is not None:
-                cell[policy.name] = evaluator.evaluate_prefixes(
-                    sequence, payload.degrees
-                )
-            else:
-                cell[policy.name] = tuple(
-                    evaluate_user(
-                        payload.dataset,
-                        payload.schedules,
-                        user,
-                        sequence[:k],
-                        allowed_degree=k,
-                        mode=payload.mode,
-                        packed=payload.packed,
-                    )
-                    for k in payload.degrees
-                )
-        out.append(cell)
-    return out
+    return [evaluate_user_cell(payload, user) for user in users]
 
 
 @dataclass(frozen=True)

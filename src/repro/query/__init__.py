@@ -1,0 +1,33 @@
+"""Interactive query plane: warm, low-latency point queries.
+
+The batch plane (:mod:`repro.core.evaluation`, :mod:`repro.experiments`)
+answers whole-cohort sweeps; this package answers *single-user*
+questions — "place replicas for user X at degree k", "what
+availability/AOD does X get under policy P" — at interactive latency:
+
+* :class:`QueryPlane` keeps schedules, packed arrays, per-user
+  incremental evaluators and selection sequences resident between
+  queries, with bounded LRUs and an optional shared
+  :class:`~repro.cache.SweepCache` content-address store;
+* :class:`MicroBatcher` coalesces concurrent requests into one
+  vectorised :meth:`QueryPlane.evaluate_many` call.
+
+Both are bit-identical to the batch path by construction: every query
+routes through the same per-user kernel the sweeps fan out.
+"""
+
+from repro.query.microbatch import MicroBatcher
+from repro.query.plane import (
+    QueryPlane,
+    QueryRequest,
+    metrics_from_payload,
+    metrics_to_payload,
+)
+
+__all__ = [
+    "MicroBatcher",
+    "QueryPlane",
+    "QueryRequest",
+    "metrics_from_payload",
+    "metrics_to_payload",
+]

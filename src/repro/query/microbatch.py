@@ -1,0 +1,109 @@
+"""Request micro-batching: coalesce concurrent point queries.
+
+A warm plane answers one query fast, but concurrent clients arriving
+within a few milliseconds of each other would each pay their own cold
+overlap scans.  :class:`MicroBatcher` holds the first arrival for a
+short window (default 2 ms), drains every request that queued behind it,
+and answers the whole batch through one
+:meth:`~repro.query.plane.QueryPlane.evaluate_many` call — so the cold
+work vectorises across the batch (one
+:meth:`~repro.timeline.packed.PackedSchedules.overlap_pairs` dispatch
+instead of per-pair scalar scans).
+
+Batching is a *latency/throughput* trade only: ``evaluate_many`` routes
+every query through the same kernels as a lone
+:meth:`~repro.query.plane.QueryPlane.evaluate`, so batched answers are
+bit-identical to unbatched ones regardless of arrival order or batch
+composition.
+
+Leader/follower protocol: the thread whose request finds the queue
+empty becomes the leader — it sleeps out the window, drains the queue,
+runs the batch, and publishes each result through a per-request event.
+Followers just wait on their event.  An exception inside the batch
+propagates to every member.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.core.metrics import UserMetrics
+from repro.core.placement.base import PlacementPolicy
+from repro.graph.social_graph import UserId
+from repro.query.plane import QueryPlane, QueryRequest
+
+
+class _Pending:
+    __slots__ = ("request", "event", "result", "error")
+
+    def __init__(self, request: QueryRequest):
+        self.request = request
+        self.event = threading.Event()
+        self.result: Optional[UserMetrics] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent queries into plane micro-batches.
+
+    ``window`` is the coalescing delay in seconds: the leader waits
+    this long before draining, so requests arriving within one window
+    of each other share a batch.  ``window=0`` disables the wait —
+    batches then only form from requests that queue while a previous
+    batch is still executing.
+    """
+
+    def __init__(self, plane: QueryPlane, *, window: float = 0.002):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self.plane = plane
+        self.window = float(window)
+        self._lock = threading.Lock()
+        self._queue: List[_Pending] = []
+        self._batches = 0
+        self._batched_requests = 0
+        self._largest_batch = 0
+
+    def evaluate(
+        self, user: UserId, policy: PlacementPolicy, k: int
+    ) -> UserMetrics:
+        """Query through the batcher; blocks until the batch answers."""
+        pending = _Pending(QueryRequest(user, policy, int(k)))
+        with self._lock:
+            self._queue.append(pending)
+            leader = len(self._queue) == 1
+        if leader:
+            if self.window:
+                time.sleep(self.window)
+            with self._lock:
+                batch = self._queue
+                self._queue = []
+                self._batches += 1
+                self._batched_requests += len(batch)
+                self._largest_batch = max(self._largest_batch, len(batch))
+            try:
+                results = self.plane.evaluate_many(
+                    [p.request for p in batch]
+                )
+                for p, result in zip(batch, results):
+                    p.result = result
+            except BaseException as exc:  # propagate to every member
+                for p in batch:
+                    p.error = exc
+            finally:
+                for p in batch:
+                    p.event.set()
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "batches": self._batches,
+                "batched_requests": self._batched_requests,
+                "largest_batch": self._largest_batch,
+            }

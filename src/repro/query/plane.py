@@ -1,0 +1,473 @@
+"""The warm placement-query plane: resident state for point queries.
+
+The batch sweeps answer "what does every degree do to every user" by
+amortising setup over thousands of evaluations; a *point* query —
+"place replicas for user X at degree k", "what availability does X get
+under policy P" — pays that whole setup for one answer.  A
+:class:`QueryPlane` keeps the expensive context resident between
+queries:
+
+* the dataset's schedules and (for the numpy backend) their CSR
+  packing, built once and shared by every query;
+* a bounded LRU of per-user :class:`IncrementalGroupEvaluator` warm
+  state, whose :class:`~repro.core.connectivity.OverlapCache` rows are
+  exactly the matrices the sweeps build per user;
+* a bounded LRU of selection sequences keyed by ``(policy, user)`` —
+  the incremental-selection property makes any longer selection's
+  prefix identical to a fresh shorter one, so one cached sequence
+  serves every degree at or below its length;
+* a bounded LRU of finished :class:`~repro.core.metrics.UserMetrics`,
+  optionally backed by a shared :class:`~repro.cache.SweepCache` under
+  the content address of :func:`~repro.cache.point_query_key` — a
+  repeated query is a pure cache hit, and entries are valid across
+  processes and plane instances.
+
+Everything here changes *when* work happens, never the floats: every
+query routes through :func:`~repro.core.evaluation.evaluate_single`,
+which calls the same per-user kernel the batch sweeps fan out, so a
+point query is bit-identical to the matching cell of a batch sweep for
+every engine/backend combination (property-tested in ``tests/query``).
+
+Micro-batching lives in :mod:`repro.query.microbatch`:
+:meth:`QueryPlane.evaluate_many` coalesces a batch's cold overlap work
+into single vectorised kernel calls
+(:meth:`~repro.timeline.packed.PackedSchedules.overlap_pairs`) before
+finishing each query on the shared scalar path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.keys import point_query_key
+from repro.core.connectivity import OverlapCache
+from repro.core.evaluation import evaluate_single
+from repro.core.incremental import (
+    INCREMENTAL,
+    IncrementalGroupEvaluator,
+    check_engine,
+)
+from repro.core.metrics import UserMetrics
+from repro.core.placement.base import CONREP, PlacementContext, PlacementPolicy
+from repro.datasets.schema import Dataset
+from repro.graph.social_graph import UserId
+from repro.onlinetime.base import (
+    OnlineTimeModel,
+    compute_schedules,
+    packed_schedules,
+)
+from repro.seeding import derive_rng
+from repro.timeline.packed import NUMPY, PYTHON, check_backend
+
+#: Float fields of :class:`UserMetrics`, in declaration order.
+_METRIC_FLOAT_FIELDS = (
+    "availability",
+    "max_achievable_availability",
+    "aod_time",
+    "aod_activity",
+    "expected_activity_fraction",
+    "aod_activity_expected",
+    "aod_activity_unexpected",
+    "delay_hours_actual",
+    "delay_hours_observed",
+)
+
+
+def metrics_to_payload(metrics: UserMetrics) -> dict:
+    """A :class:`UserMetrics` as a JSON-exact payload dict.
+
+    Ints stay ints, floats stay floats (JSON renders them by shortest
+    round-trip repr, and ``inf`` — a legal delay — survives via the
+    default non-strict JSON mode), so the round trip through
+    :meth:`~repro.cache.SweepCache.put_payload` is bit-identical.
+    """
+    payload = {
+        "user": int(metrics.user),
+        "allowed_degree": int(metrics.allowed_degree),
+        "replicas": [int(r) for r in metrics.replicas],
+    }
+    for name in _METRIC_FLOAT_FIELDS:
+        payload[name] = float(getattr(metrics, name))
+    return payload
+
+
+def metrics_from_payload(payload: dict) -> UserMetrics:
+    """Inverse of :func:`metrics_to_payload`."""
+    return UserMetrics(
+        user=payload["user"],
+        allowed_degree=int(payload["allowed_degree"]),
+        replicas=tuple(payload["replicas"]),
+        **{name: float(payload[name]) for name in _METRIC_FLOAT_FIELDS},
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class QueryRequest:
+    """One point query: place-and-evaluate ``user`` at degree ``k``."""
+
+    user: UserId
+    policy: PlacementPolicy
+    k: int
+
+
+class _LRU:
+    """A tiny bounded mapping with hit/miss/eviction counters."""
+
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, max_entries: int):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._data),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class QueryPlane:
+    """Long-lived warm state answering point queries at low latency.
+
+    Thread-safe: a single re-entrant lock serialises queries (the warm
+    state is mutable LRU structure, and the underlying kernels are
+    CPython-level compute anyway), so a plane can sit directly behind a
+    multi-threaded server loop or a
+    :class:`~repro.query.microbatch.MicroBatcher`.
+
+    ``cache`` optionally plugs a shared
+    :class:`~repro.cache.SweepCache`: finished metrics persist under
+    :func:`~repro.cache.point_query_key` content addresses (and to disk
+    when the cache has a directory), composing with the batch plane's
+    store — the key deliberately excludes every execution knob, so
+    entries written by any plane or sweep serve all others.
+
+    ``overlap_max_rows`` bounds each resident evaluator's
+    :class:`~repro.core.connectivity.OverlapCache` (see its
+    ``max_rows``); eviction only forgets memoized overlaps, never
+    changes them.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        model: OnlineTimeModel,
+        *,
+        mode: str = CONREP,
+        engine: str = INCREMENTAL,
+        backend: str = PYTHON,
+        seed: int = 0,
+        cache=None,
+        max_users: int = 256,
+        max_sequences: int = 1024,
+        max_results: int = 4096,
+        overlap_max_rows: Optional[int] = None,
+    ):
+        self.dataset = dataset
+        self.model = model
+        self.mode = mode
+        self.engine = check_engine(engine)
+        self.backend = check_backend(backend)
+        self.seed = int(seed)
+        self._store = cache
+        self._overlap_max_rows = overlap_max_rows
+        self._lock = threading.RLock()
+        self._schedules = None
+        self._packed = None
+        self._evaluators = _LRU(max_users)
+        self._sequences = _LRU(max_sequences)
+        self._results = _LRU(max_results)
+        self._queries = 0
+        self._result_hits = 0
+        self._store_hits = 0
+        self._batched = 0
+
+    # -- warm state ---------------------------------------------------------
+
+    def warm(self) -> "QueryPlane":
+        """Build the shared schedule state eagerly; returns ``self``.
+
+        Without this, the first query pays the schedule computation
+        (the memoised :func:`compute_schedules` /
+        :func:`packed_schedules`, so a plane over an already-swept
+        dataset warms for free).
+        """
+        with self._lock:
+            if self._schedules is None:
+                self._schedules = compute_schedules(
+                    self.dataset, self.model, seed=self.seed
+                )
+                if self.backend == NUMPY:
+                    self._packed = packed_schedules(
+                        self.dataset, self.model, seed=self.seed
+                    )
+        return self
+
+    @property
+    def schedules(self):
+        self.warm()
+        return self._schedules
+
+    @property
+    def packed(self):
+        self.warm()
+        return self._packed
+
+    def _evaluator_for(
+        self, user: UserId
+    ) -> Optional[IncrementalGroupEvaluator]:
+        """The user's resident evaluator (incremental engine only)."""
+        if self.engine != INCREMENTAL:
+            return None
+        evaluator = self._evaluators.get(user)
+        if evaluator is None:
+            evaluator = IncrementalGroupEvaluator(
+                self.dataset,
+                self._schedules,
+                user,
+                mode=self.mode,
+                overlap_cache=OverlapCache(
+                    self._schedules,
+                    self._packed,
+                    max_rows=self._overlap_max_rows,
+                ),
+                packed=self._packed,
+            )
+            self._evaluators.put(user, evaluator)
+        return evaluator
+
+    def _sequence_for(
+        self,
+        user: UserId,
+        policy: PlacementPolicy,
+        k: int,
+        evaluator: Optional[IncrementalGroupEvaluator],
+    ) -> Tuple[UserId, ...]:
+        """The user's selection sequence, at least ``k`` deep.
+
+        Cached sequences are reusable downward (prefix property) and
+        when selection exhausted the candidate pool below the depth
+        they were requested at; otherwise the sequence is re-selected
+        at the larger depth with a *fresh* ``(seed, policy, user)`` RNG
+        — which replays the identical draws, extended.
+        """
+        key = (policy.cache_key(), user)
+        cached = self._sequences.get(key)
+        if cached is not None:
+            depth, sequence = cached
+            if depth >= k or len(sequence) < depth:
+                return sequence
+        depth = max(int(k), 0 if cached is None else cached[0])
+        ctx = PlacementContext(
+            dataset=self.dataset,
+            schedules=self._schedules,
+            user=user,
+            mode=self.mode,
+            rng=derive_rng(self.seed, policy.name, user),
+            overlap_cache=(
+                evaluator.overlap_cache if evaluator is not None else None
+            ),
+            packed=self._packed,
+        )
+        sequence = tuple(policy.select(ctx, depth))
+        self._sequences.put(key, (depth, sequence))
+        return sequence
+
+    # -- lookups ------------------------------------------------------------
+
+    def _lookup(
+        self, user: UserId, policy: PlacementPolicy, k: int
+    ) -> Tuple[object, Optional[UserMetrics]]:
+        """Result-LRU then content-address store; ``(lru_key, hit)``."""
+        key = (policy.cache_key(), user, int(k))
+        metrics = self._results.get(key)
+        if metrics is not None:
+            self._result_hits += 1
+            return key, metrics
+        if self._store is not None:
+            payload = self._store.get_payload(
+                point_query_key(
+                    self.dataset,
+                    self.model,
+                    policy,
+                    mode=self.mode,
+                    user=user,
+                    k=k,
+                    seed=self.seed,
+                )
+            )
+            if payload is not None:
+                metrics = metrics_from_payload(payload)
+                self._store_hits += 1
+                self._results.put(key, metrics)
+                return key, metrics
+        return key, None
+
+    def _compute(
+        self, user: UserId, policy: PlacementPolicy, k: int, lru_key
+    ) -> UserMetrics:
+        evaluator = self._evaluator_for(user)
+        sequence = self._sequence_for(user, policy, k, evaluator)
+        metrics = evaluate_single(
+            self.dataset,
+            self._schedules,
+            user,
+            policy,
+            k,
+            mode=self.mode,
+            engine=self.engine,
+            backend=self.backend,
+            seed=self.seed,
+            packed=self._packed,
+            evaluator=evaluator,
+            sequence=sequence,
+        )
+        self._results.put(lru_key, metrics)
+        if self._store is not None:
+            self._store.put_payload(
+                point_query_key(
+                    self.dataset,
+                    self.model,
+                    policy,
+                    mode=self.mode,
+                    user=user,
+                    k=k,
+                    seed=self.seed,
+                ),
+                metrics_to_payload(metrics),
+            )
+        return metrics
+
+    # -- queries ------------------------------------------------------------
+
+    def evaluate(
+        self, user: UserId, policy: PlacementPolicy, k: int
+    ) -> UserMetrics:
+        """Place-and-evaluate one user at degree ``k`` under ``policy``."""
+        with self._lock:
+            self.warm()
+            self._queries += 1
+            lru_key, metrics = self._lookup(user, policy, int(k))
+            if metrics is not None:
+                return metrics
+            return self._compute(user, policy, int(k), lru_key)
+
+    def place(
+        self, user: UserId, policy: PlacementPolicy, k: int
+    ) -> Tuple[UserId, ...]:
+        """The degree-``k`` replica placement only (metrics discarded)."""
+        return self.evaluate(user, policy, k).replicas
+
+    def evaluate_many(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[UserMetrics]:
+        """Answer a micro-batch of queries, coalescing the cold work.
+
+        Cache hits resolve immediately.  For the remaining cold users,
+        the owner-candidate overlap durations every placement filter
+        and evaluation walk would compute one pair at a time are
+        instead computed by a *single*
+        :meth:`~repro.timeline.packed.PackedSchedules.overlap_pairs`
+        kernel call over the whole batch and seeded into each user's
+        resident :class:`~repro.core.connectivity.OverlapCache` (only
+        under the packing's exactness gate — fractional schedules skip
+        the prewarm and stay on the scalar path).  Then each query
+        finishes on the identical shared kernel as :meth:`evaluate`:
+        the batch path changes *when* overlaps are computed, never
+        their values, so results are bit-identical query for query.
+        """
+        with self._lock:
+            self.warm()
+            out: List[Optional[UserMetrics]] = [None] * len(requests)
+            misses: List[Tuple[int, object]] = []
+            for i, request in enumerate(requests):
+                self._queries += 1
+                self._batched += 1
+                lru_key, metrics = self._lookup(
+                    request.user, request.policy, int(request.k)
+                )
+                if metrics is not None:
+                    out[i] = metrics
+                else:
+                    misses.append((i, lru_key))
+            if misses:
+                self._prewarm_overlaps(
+                    {requests[i].user for i, _ in misses}
+                )
+            for i, lru_key in misses:
+                request = requests[i]
+                out[i] = self._compute(
+                    request.user, request.policy, int(request.k), lru_key
+                )
+            return out
+
+    def _prewarm_overlaps(self, users) -> None:
+        """Seed owner-candidate overlaps for ``users`` in one kernel call."""
+        packed = self._packed
+        if (
+            self.engine != INCREMENTAL
+            or packed is None
+            or not packed.exact
+        ):
+            return
+        owners: List[UserId] = []
+        partners: List[UserId] = []
+        pending: List[Tuple[UserId, UserId]] = []
+        for user in sorted(users):
+            for candidate in sorted(self.dataset.replica_candidates(user)):
+                owners.append(user)
+                partners.append(candidate)
+                pending.append((user, candidate))
+        if not pending:
+            return
+        values = packed.overlap_pairs(owners, partners)
+        for (user, candidate), value in zip(pending, values):
+            evaluator = self._evaluator_for(user)
+            if evaluator is not None:
+                evaluator.overlap_cache.seed(user, candidate, float(value))
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for the ``[timing]`` foot and experiment JSON."""
+        with self._lock:
+            return {
+                "queries": self._queries,
+                "result_hits": self._result_hits,
+                "store_hits": self._store_hits,
+                "batched": self._batched,
+                "evaluators": self._evaluators.stats(),
+                "sequences": self._sequences.stats(),
+                "results": self._results.stats(),
+            }

@@ -24,7 +24,14 @@ sweep payload.  On top of it this module implements the batch kernels the
   point multiset each candidate's schedule contains (the
   activity-objective set-cover gain);
 * :func:`batch_contains` / :func:`batch_wait_until` — all of a user's
-  activity instants against one schedule at once.
+  activity instants against one schedule at once;
+* :meth:`PackedSchedules.contains_pairs` /
+  :meth:`PackedSchedules.overlap_pairs` — *pair-aligned* row-set
+  variants sized for query micro-batches: one call answers an arbitrary
+  list of ``(user, instant)`` containment queries or ``(a, b)`` overlap
+  queries spanning many different rows, instead of one kernel dispatch
+  per distinct user.  Both run a vectorised per-row binary search, so a
+  whole micro-batch of point queries pays a single NumPy dispatch.
 
 **Oracle-equivalence contract.**  The numpy backend must produce results
 identical to the pure-Python reference path.  Containment, wait and
@@ -45,7 +52,7 @@ from __future__ import annotations
 
 import math
 import sys
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -142,6 +149,7 @@ class PackedSchedules:
         "measures",
         "exact",
         "_index",
+        "_cumlen",
     )
 
     def __init__(
@@ -168,11 +176,29 @@ class PackedSchedules:
         # runs whole-row kernels (or attaches to a shared block) never
         # pays for the dict.
         self._index: Optional[Dict[UserId, int]] = None
+        # Global cumulative interval lengths, built on first pair-kernel
+        # call (only the micro-batch overlap path needs it).
+        self._cumlen: Optional[np.ndarray] = None
 
     def _index_map(self) -> Dict[UserId, int]:
         if self._index is None:
             self._index = {int(u): i for i, u in enumerate(self.users)}
         return self._index
+
+    def _rows_of(self, users: Sequence[UserId]) -> np.ndarray:
+        """Row index per user, ``-1`` for users packed as never online."""
+        index = self._index_map()
+        return np.fromiter(
+            (index.get(u, -1) for u in users),
+            dtype=np.int64,
+            count=len(users),
+        )
+
+    def _cumlen_array(self) -> np.ndarray:
+        """``_cumlen[j]`` = total length of the first ``j`` intervals."""
+        if self._cumlen is None:
+            self._cumlen = np.concatenate(([0.0], np.cumsum(self.lengths)))
+        return self._cumlen
 
     @classmethod
     def from_schedules(
@@ -336,6 +362,112 @@ class PackedSchedules:
         starts, ends = self.row_slice(user)
         return _contains_arrays(starts, ends, instants)
 
+    # -- pair-aligned micro-batch kernels ----------------------------------
+
+    def _row_bisect_right(
+        self, rows: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row ``bisect_right`` of each value into its row's starts.
+
+        Returns ``(idx, base)`` where ``base[i]`` is the global offset of
+        row ``rows[i]``'s first interval and ``idx[i]`` the global index
+        of the *last* interval of that row whose start is ``<=
+        values[i]`` — or ``base[i] - 1`` when no interval qualifies
+        (including empty rows and unknown users, ``rows[i] < 0``).
+
+        A vectorised binary search over the row slices: pure float
+        comparisons against the stored endpoints, so the split points
+        are bit-identical to the scalar per-row bisection for *any*
+        endpoints — unlike a band-shift trick, no added offsets that
+        could round fractional starts.
+        """
+        starts = self.starts
+        safe_rows = np.maximum(rows, 0)
+        lo = np.where(rows >= 0, self.offsets[safe_rows], 0).astype(np.int64)
+        hi = np.where(
+            rows >= 0, self.offsets[safe_rows + 1], 0
+        ).astype(np.int64)
+        base = lo.copy()
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo + hi) >> 1
+            le = np.zeros(len(lo), dtype=bool)
+            le[active] = starts[mid[active]] <= values[active]
+            go = active & le
+            stay = active & ~le
+            lo[go] = mid[go] + 1
+            hi[stay] = mid[stay]
+        return lo - 1, base
+
+    def contains_pairs(
+        self, users: Sequence[UserId], instants: np.ndarray
+    ) -> np.ndarray:
+        """Aligned containment: was ``users[i]`` online at ``instants[i]``?
+
+        The micro-batch row-set variant of :meth:`contains_row`: one
+        vectorised per-row bisection answers every ``(user, instant)``
+        pair in a single call — e.g. all the creator-online flags of an
+        activity scan, or one plane micro-batch's point probes — instead
+        of one kernel dispatch per distinct user.  Comparison-only,
+        hence identical to the scalar ``IntervalSet.contains`` bisection
+        for any float endpoints; unknown users read as never online.
+        """
+        instants = np.asarray(instants, dtype=np.float64)
+        n = len(instants)
+        if not n or not len(self.users) or not self.starts.size:
+            return np.zeros(n, dtype=bool)
+        rows = self._rows_of(users)
+        t = np.mod(instants, DAY_SECONDS)
+        idx, base = self._row_bisect_right(rows, t)
+        safe = np.maximum(idx, 0)
+        return (idx >= base) & (t < self.ends[safe])
+
+    def _coverage_in_rows(
+        self, rows: np.ndarray, x: np.ndarray
+    ) -> np.ndarray:
+        """Per-row :func:`_coverage_below`: measure of ``rows[i]``'s
+        intervals lying below ``x[i]``."""
+        idx, base = self._row_bisect_right(rows, x)
+        safe = np.maximum(idx, 0)
+        cumlen = self._cumlen_array()
+        inside = np.clip(x - self.starts[safe], 0.0, self.lengths[safe])
+        return np.where(
+            idx >= base, cumlen[safe] - cumlen[base] + inside, 0.0
+        )
+
+    def overlap_pairs(
+        self, a_users: Sequence[UserId], b_users: Sequence[UserId]
+    ) -> np.ndarray:
+        """Aligned pairwise overlap durations ``overlap(a[i], b[i])``.
+
+        The micro-batch row-set variant of :meth:`overlap_row`: one call
+        computes the overlap of arbitrarily many ``(a, b)`` pairs
+        spanning different a-rows — e.g. every owner×candidate edge of
+        one query-plane micro-batch — where the row kernel would pay one
+        dispatch per distinct owner.  Subject to the same exactness gate
+        as the other duration-sum kernels: callers must check
+        :attr:`exact` (integral endpoints) before substituting this for
+        the scalar merge scan.
+        """
+        n = len(a_users)
+        if n != len(b_users):
+            raise ValueError("a_users and b_users must be aligned")
+        if not n:
+            return np.empty(0, dtype=np.float64)
+        if not len(self.users):
+            return np.zeros(n, dtype=np.float64)
+        b_starts, b_ends, counts = self._gather(b_users)
+        if not b_starts.size:
+            return np.zeros(n, dtype=np.float64)
+        a_rows = self._rows_of(a_users)
+        rows = np.repeat(a_rows, counts)
+        contrib = self._coverage_in_rows(rows, b_ends) - (
+            self._coverage_in_rows(rows, b_starts)
+        )
+        return _segment_sums(contrib, counts)
+
 
 def _contains_arrays(
     starts: np.ndarray, ends: np.ndarray, instants: np.ndarray
@@ -390,15 +522,10 @@ def creator_online_flags(
 ) -> np.ndarray:
     """Whether each activity's creator was online at its instant.
 
-    Groups the activities by creator and runs one containment kernel per
-    distinct creator — the expected/unexpected split of the activity
-    scans, vectorised.
+    One :meth:`PackedSchedules.contains_pairs` call for the whole
+    activity list — the expected/unexpected split of the activity scans
+    with a single kernel dispatch, no per-creator grouping loop.  The
+    pair kernel runs the same per-row bisection as the scalar
+    containment, so the flags are bit-identical for any endpoints.
     """
-    flags = np.zeros(len(creators), dtype=bool)
-    by_creator: Dict[UserId, List[int]] = {}
-    for i, creator in enumerate(creators):
-        by_creator.setdefault(creator, []).append(i)
-    for creator, positions in by_creator.items():
-        pos = np.asarray(positions, dtype=np.int64)
-        flags[pos] = packed.contains_row(creator, instants[pos])
-    return flags
+    return packed.contains_pairs(creators, instants)

@@ -131,7 +131,7 @@ class TestKeys:
 
 _SUBPROCESS_SCRIPT = """
 import json
-from repro.cache import dataset_fingerprint, sweep_cache_key
+from repro.cache import dataset_fingerprint, point_query_key, sweep_cache_key
 from repro.core import CONREP, make_policy
 from repro.datasets import synthetic_facebook
 from repro.onlinetime import SporadicModel
@@ -142,7 +142,13 @@ key = sweep_cache_key(
     ds, SporadicModel(), make_policy("random"),
     mode=CONREP, degrees=[0, 1, 2], users=users, seed=1, repeats=2,
 )
-print(json.dumps({"fingerprint": dataset_fingerprint(ds), "key": key}))
+point = point_query_key(
+    ds, SporadicModel(), make_policy("random"),
+    mode=CONREP, user=users[0], k=2, seed=1,
+)
+print(json.dumps({
+    "fingerprint": dataset_fingerprint(ds), "key": key, "point": point,
+}))
 """
 
 

@@ -289,6 +289,69 @@ class TestOverlapCache:
         assert cache.schedule_of(99).is_empty
 
 
+class TestOverlapCacheEviction:
+    def _schedules(self, n=8):
+        return {u: _hours(u % 12, u % 12 + 4 + (u % 3)) for u in range(n)}
+
+    def test_bounded_matches_unbounded_everywhere(self):
+        schedules = self._schedules()
+        unbounded = OverlapCache(schedules)
+        bounded = OverlapCache(schedules, max_rows=2)
+        users = sorted(schedules)
+        for a in users:
+            for b in users:
+                assert bounded.overlap(a, b) == unbounded.overlap(a, b)
+        assert len(bounded) <= 2
+        assert bounded.evictions > 0
+        assert unbounded.evictions == 0
+
+    def test_evicted_then_refilled_entry_is_bit_identical(self):
+        # The eviction-correctness regression: force an entry out, touch
+        # enough other pairs to be sure it is gone, then re-ask — the
+        # recomputed value must equal the original float bit for bit.
+        schedules = self._schedules()
+        cache = OverlapCache(schedules, max_rows=2)
+        original = cache.overlap(0, 1)
+        for a in range(2, 8):
+            for b in range(a + 1, 8):
+                cache.overlap(a, b)
+        assert len(cache) == 2
+        refilled = cache.overlap(0, 1)
+        assert refilled == original
+        assert refilled == schedules[0].overlap(schedules[1])
+
+    def test_lru_order_recency_not_insertion(self):
+        schedules = self._schedules(4)
+        cache = OverlapCache(schedules, max_rows=2)
+        cache.overlap(0, 1)
+        cache.overlap(0, 2)
+        cache.overlap(0, 1)  # touch: (0,1) is now most recent
+        cache.overlap(0, 3)  # evicts (0,2), not (0,1)
+        evictions = cache.evictions
+        assert evictions == 1
+        cache.overlap(0, 1)  # still resident: no new eviction
+        assert cache.evictions == evictions
+
+    def test_unbounded_default_has_no_lru_machinery(self):
+        cache = OverlapCache(self._schedules(4))
+        assert cache.max_rows is None
+        assert type(cache._cache) is dict  # plain dict: zero overhead
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            OverlapCache(self._schedules(2), max_rows=0)
+
+    def test_seed_prefills_and_existing_entries_win(self):
+        schedules = self._schedules(4)
+        cache = OverlapCache(schedules, max_rows=4)
+        true_value = schedules[0].overlap(schedules[1])
+        cache.seed(0, 1, true_value)
+        assert cache.overlap(0, 1) == true_value
+        computed = cache.overlap(2, 3)
+        cache.seed(2, 3, -1.0)  # ignored: the entry already exists
+        assert cache.overlap(2, 3) == computed
+
+
 class TestUnconRepDelay:
     def test_sum_of_waits(self):
         # Owner online 4h (wait 20h), replica online 2h (wait 22h).

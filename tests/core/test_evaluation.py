@@ -164,6 +164,126 @@ class TestAggregateMetrics:
         assert agg.delay_hours_observed == pytest.approx(2.0)
 
 
+class TestMergeDegenerates:
+    """merge() on the edge shapes the sharded rollups actually produce."""
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateMetrics.merge([])
+
+    def test_merge_zero_total_users_rejected(self):
+        empty_part = AggregateMetrics(
+            num_users=0,
+            availability=0.0,
+            max_achievable_availability=0.0,
+            aod_time=0.0,
+            aod_activity=0.0,
+            expected_activity_fraction=0.0,
+            delay_hours_actual=0.0,
+            delay_hours_observed=0.0,
+            mean_replicas_used=0.0,
+            num_infinite_delay=0,
+        )
+        with pytest.raises(ValueError):
+            AggregateMetrics.merge([empty_part])
+
+    def test_merge_single_part_is_identity(self):
+        part = AggregateMetrics.from_users(
+            [_user_metrics(availability=0.37, delay_hours_actual=4.25)]
+        )
+        assert AggregateMetrics.merge([part]) == part
+
+    def test_merge_of_singletons_equals_whole_cohort(self):
+        # One part per user must roll up to exactly the single-pass
+        # aggregate — bit for bit, including the finite-delay means.
+        metrics = [
+            _user_metrics(
+                user=i,
+                availability=0.1 + 0.07 * i,
+                delay_hours_actual=(math.inf if i == 2 else 3.0 + i),
+                delay_hours_observed=(math.inf if i == 0 else 0.5 * i),
+            )
+            for i in range(5)
+        ]
+        merged = AggregateMetrics.merge(
+            [AggregateMetrics.from_users([m]) for m in metrics]
+        )
+        assert merged == AggregateMetrics.from_users(metrics)
+
+    def test_merge_split_halves_match_whole_when_aligned(self):
+        # Two equal-size halves whose per-half means are exact (power of
+        # two counts, representable values) merge to the whole-cohort
+        # aggregate.
+        metrics = [
+            _user_metrics(availability=0.25 * (i + 1), delay_hours_actual=float(i + 1))
+            for i in range(4)
+        ]
+        whole = AggregateMetrics.from_users(metrics)
+        halves = [
+            AggregateMetrics.from_users(metrics[:2]),
+            AggregateMetrics.from_users(metrics[2:]),
+        ]
+        assert AggregateMetrics.merge(halves) == whole
+
+    def test_merge_ignores_nan_delay_in_zero_weight_part(self):
+        # A part in which every user's delay was infinite contributes
+        # zero weight to the finite-delay mean; a NaN placeholder in its
+        # delay field must not poison the merged mean (NaN * 0 == NaN).
+        all_infinite = AggregateMetrics(
+            num_users=2,
+            availability=0.5,
+            max_achievable_availability=0.5,
+            aod_time=0.5,
+            aod_activity=0.5,
+            expected_activity_fraction=0.5,
+            delay_hours_actual=math.nan,
+            delay_hours_observed=math.nan,
+            mean_replicas_used=1.0,
+            num_infinite_delay=2,
+            num_infinite_delay_observed=2,
+        )
+        finite = AggregateMetrics.from_users(
+            [_user_metrics(delay_hours_actual=6.0, delay_hours_observed=2.0)]
+        )
+        merged = AggregateMetrics.merge([all_infinite, finite])
+        assert merged.delay_hours_actual == 6.0
+        assert merged.delay_hours_observed == 2.0
+        assert merged.num_infinite_delay == 2
+
+    def test_merge_all_parts_infinite_gives_zero_mean(self):
+        parts = [
+            AggregateMetrics.from_users(
+                [_user_metrics(delay_hours_actual=math.inf)]
+            )
+            for _ in range(3)
+        ]
+        merged = AggregateMetrics.merge(parts)
+        assert merged.delay_hours_actual == 0.0
+        assert merged.num_infinite_delay == 3
+
+    def test_mean_ignores_nan_delay_in_zero_weight_repeat(self):
+        # Same regression for the cross-repeat averaging path.
+        all_infinite = AggregateMetrics(
+            num_users=1,
+            availability=0.5,
+            max_achievable_availability=0.5,
+            aod_time=0.5,
+            aod_activity=0.5,
+            expected_activity_fraction=0.5,
+            delay_hours_actual=math.nan,
+            delay_hours_observed=math.nan,
+            mean_replicas_used=1.0,
+            num_infinite_delay=1,
+            num_infinite_delay_observed=1,
+        )
+        finite = AggregateMetrics.from_users(
+            [_user_metrics(delay_hours_actual=8.0, delay_hours_observed=4.0)]
+        )
+        averaged = AggregateMetrics.mean([all_infinite, finite])
+        assert averaged.delay_hours_actual == 8.0
+        assert averaged.delay_hours_observed == 4.0
+
+
 class TestSelectCohort:
     def test_exact_degree(self):
         ds = _dataset()

@@ -257,3 +257,95 @@ class TestBatchCommand:
         a.pop("timings")
         b.pop("timings")
         assert a == b
+
+
+class TestQueryCommand:
+    def test_query_parser_defaults(self):
+        args = build_parser().parse_args(["query"])
+        assert args.dataset == "facebook"
+        assert args.policy == "maxav"
+        assert args.mode == "conrep"
+        assert args.k == 3
+        assert args.engine == "incremental"
+        assert args.backend == "python"
+        assert args.user is None
+
+    def test_query_user_flag_repeats(self):
+        args = build_parser().parse_args(
+            ["query", "--user", "3", "--user", "17"]
+        )
+        assert args.user == [3, 17]
+
+    def test_query_rejects_bad_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--mode", "sideways"])
+
+    def test_query_cohort_smoke(self, capsys):
+        rc = main(
+            [
+                "query",
+                "--users", "300",
+                "--seed", "2",
+                "--degree", "6",
+                "--cohort", "4",
+                "--k", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "[query]" in out
+        assert "p99" in out
+
+    def test_query_explicit_users_match_library(self, capsys):
+        # The CLI must print exactly what the library's plane computes.
+        from repro.core import make_policy
+        from repro.datasets import synthetic_facebook
+        from repro.onlinetime import SporadicModel
+        from repro.query import QueryPlane
+
+        dataset = synthetic_facebook(300, seed=2)
+        user = sorted(dataset.graph.users())[5]
+        expected = QueryPlane(dataset, SporadicModel(), seed=2).evaluate(
+            user, make_policy("maxav"), 2
+        )
+        rc = main(
+            [
+                "query",
+                "--users", "300",
+                "--seed", "2",
+                "--user", str(user),
+                "--k", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"{expected.availability:.3f}" in out
+        assert " ".join(str(r) for r in expected.replicas) in out
+
+    def test_query_unknown_degree_fails_gracefully(self, capsys):
+        rc = main(
+            ["query", "--users", "300", "--degree", "9999"]
+        )
+        assert rc == 1
+        assert "no users of degree" in capsys.readouterr().err
+
+    def test_query_cache_dir_round_trip(self, tmp_path, capsys):
+        argv = [
+            "query",
+            "--users", "300",
+            "--seed", "2",
+            "--user", "5",
+            "--k", "2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # Second run serves from the content-addressed store: same table.
+        table = lambda text: [
+            line for line in text.splitlines() if not line.startswith("[")
+        ]
+        assert table(first) == table(second)
+        assert "1 store hits" in second

@@ -223,3 +223,90 @@ class TestPointKernels:
             for c, t in zip(creators, instants)
         ]
         assert list(flags) == want
+
+
+@st.composite
+def fractional_schedules(draw):
+    """A users->IntervalSet mapping on the 1/7-second grid (inexact)."""
+    n = draw(st.integers(min_value=0, max_value=6))
+    return {u: _interval_sets(draw, integral=False) for u in range(n)}
+
+
+class TestPairKernels:
+    """The micro-batch row-set variants: one (user_i, value_i) answer per
+    aligned input pair, oracle-equal to the scalar scans."""
+
+    @given(schedules=fractional_schedules(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_contains_pairs_matches_scalar(self, schedules, data):
+        # Comparison-only kernel: exact for ANY endpoints, so the
+        # property must hold on fractional schedules too.
+        packed = PackedSchedules.from_schedules(schedules)
+        users = list(schedules) + [404]
+        pairs = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(users),
+                    st.integers(0, 7 * 3 * DAY_SECONDS).map(lambda v: v / 7.0),
+                ),
+                max_size=16,
+            )
+        )
+        flags = packed.contains_pairs(
+            [u for u, _ in pairs],
+            np.asarray([t for _, t in pairs], dtype=np.float64),
+        )
+        empty = IntervalSet.empty()
+        for (u, t), got in zip(pairs, flags):
+            assert bool(got) == schedules.get(u, empty).contains(t)
+
+    @given(schedules=integral_schedules(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_overlap_pairs_matches_scalar(self, schedules, data):
+        packed = PackedSchedules.from_schedules(schedules)
+        assert packed.exact
+        users = list(schedules) + [404]
+        pairs = data.draw(
+            st.lists(
+                st.tuples(st.sampled_from(users), st.sampled_from(users)),
+                max_size=16,
+            )
+        )
+        values = packed.overlap_pairs(
+            [a for a, _ in pairs], [b for _, b in pairs]
+        )
+        empty = IntervalSet.empty()
+        for (a, b), got in zip(pairs, values):
+            assert got == schedules.get(a, empty).overlap(
+                schedules.get(b, empty)
+            )
+
+    def test_overlap_pairs_rejects_mismatched_lengths(self):
+        packed = PackedSchedules.from_schedules({0: IntervalSet([(0, 10)])})
+        with pytest.raises(ValueError):
+            packed.overlap_pairs([0, 0], [0])
+
+    def test_empty_pair_batches(self):
+        packed = PackedSchedules.from_schedules({0: IntervalSet([(0, 10)])})
+        assert packed.contains_pairs([], np.asarray([])).shape == (0,)
+        assert packed.overlap_pairs([], []).shape == (0,)
+
+    def test_all_empty_schedules(self):
+        # Users exist but every row is empty: zero stored endpoints.
+        packed = PackedSchedules.from_schedules(
+            {0: IntervalSet.empty(), 1: IntervalSet.empty()}
+        )
+        flags = packed.contains_pairs([0, 1, 9], np.asarray([0.0, 5.0, 9.0]))
+        assert list(flags) == [False, False, False]
+        assert list(packed.overlap_pairs([0, 1], [1, 0])) == [0.0, 0.0]
+
+    def test_creator_online_flags_routes_through_contains_pairs(self):
+        # Same-creator repeats and t > DAY both hit the vectorised path.
+        schedules = {1: IntervalSet([(0.5, 3600.5)])}
+        packed = PackedSchedules.from_schedules(schedules)
+        creators = [1, 1, 1, 2]
+        instants = np.asarray(
+            [100.0, DAY_SECONDS + 100.0, 3600.5, 100.0]
+        )
+        flags = creator_online_flags(packed, creators, instants)
+        assert list(flags) == [True, True, False, False]
