@@ -13,6 +13,9 @@ percentiles and throughput:
   sequences are resident, results are not.
 * ``warm`` — one plane, repeated queries: pure result-LRU hits.  The
   asserted contract: warm p50 must beat cold p50 by >= 10x.
+* ``resilient`` — the warm tier through ``evaluate_resilient`` with a
+  per-request deadline: the degraded-serving machinery's happy path,
+  held to the same p99 ceiling as ``warm``.
 * ``batched`` — a multi-threaded closed loop through
   :class:`~repro.query.MicroBatcher`; reports throughput (qps).
 * ``cached`` — a fresh plane over a pre-populated shared
@@ -40,6 +43,7 @@ from repro.experiments import BENCH, facebook_dataset
 from repro.onlinetime import SporadicModel, compute_schedules
 from repro.parallel import SweepPayload, evaluate_users_chunk
 from repro.query import MicroBatcher, QueryPlane
+from repro.resilience import Deadline
 from repro.timeline.packed import NUMPY
 
 MIN_WARM_SPEEDUP = 10.0
@@ -135,6 +139,20 @@ def test_query_latency_tiers(benchmark, tmp_path):
         warm_ms.append((perf_counter() - start) * 1e3)
         assert metrics == expected[user]
 
+    # -- resilient: the warm tier through the degraded-serving path -------
+    # Per-request deadlines and the degradation decision tree ride every
+    # resilient query; on the happy path (nothing degrades) they must
+    # not cost the warm tier its p99 ceiling.
+    resilient_ms = []
+    for user in users:
+        start = perf_counter()
+        outcome = plane.evaluate_resilient(
+            user, make_policy(POLICY), K, deadline=Deadline.after_ms(1000)
+        )
+        resilient_ms.append((perf_counter() - start) * 1e3)
+        assert outcome.ok and not outcome.degraded
+        assert outcome.value == expected[user]
+
     # -- batched: closed-loop multi-threaded clients ----------------------
     batch_plane = QueryPlane(dataset, model, backend=NUMPY, seed=SEED).warm()
     batcher = MicroBatcher(batch_plane, window=0.002)
@@ -184,6 +202,7 @@ def test_query_latency_tiers(benchmark, tmp_path):
         "cold": _tier(cold_ms),
         "warm_state": _tier(warm_state_ms),
         "warm": _tier(warm_ms),
+        "resilient": _tier(resilient_ms),
         "batched": _tier(batched_ms),
         "cached": _tier(cached_ms),
     }
@@ -224,4 +243,9 @@ def test_query_latency_tiers(benchmark, tmp_path):
         assert tiers["warm"]["p99_ms"] <= float(ceiling), (
             f"warm p99 {tiers['warm']['p99_ms']}ms exceeds the "
             f"{ceiling}ms ceiling"
+        )
+        # The same ceiling holds with deadlines and degradation armed.
+        assert tiers["resilient"]["p99_ms"] <= float(ceiling), (
+            f"resilient p99 {tiers['resilient']['p99_ms']}ms exceeds "
+            f"the {ceiling}ms ceiling"
         )

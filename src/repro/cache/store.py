@@ -36,6 +36,8 @@ import dataclasses
 import io
 import json
 import os
+import time
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -47,6 +49,7 @@ from repro.cache.keys import CACHE_FORMAT_VERSION, sweep_cache_key
 from repro.datasets.schema import Dataset
 from repro.graph.social_graph import UserId
 from repro.onlinetime.base import OnlineTimeModel
+from repro.parallel.faults import ENOSPC, SLOW_IO, TORN_WRITE, FaultInjector
 
 #: Metric fields in serialisation order (the dataclass field order).
 _FIELDS: Tuple[str, ...] = tuple(
@@ -74,6 +77,9 @@ class CacheStats:
     stores: int = 0
     #: Hits served by reading the on-disk layer (subset of ``hits``).
     disk_hits: int = 0
+    #: Disk writes that failed (``OSError``/``ENOSPC``/``PermissionError``);
+    #: the first failure degrades the cache to memory-only writes.
+    disk_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -133,10 +139,24 @@ class SweepCache:
 
     ``cache_dir`` adds the persistent on-disk layer; without it the
     cache lives purely in memory for the duration of one batch.
+
+    The disk layer is *best-effort*: a write that fails with ``OSError``
+    (including ``ENOSPC``) or ``PermissionError`` degrades the cache to
+    memory-only writes for the rest of its life — one warning, a
+    ``disk_errors`` counter bump, and the sweep continues instead of
+    crashing.  Reads keep working (existing entries stay servable).
+
+    ``fault_injector`` threads the deterministic chaos plan through the
+    disk layer: ``torn-write`` / ``enospc`` / ``slow-io`` rules fire on
+    writes, exercising the degradation and the corruption-tolerant
+    loads on purpose.
     """
 
     def __init__(
-        self, cache_dir: Optional[Union[str, os.PathLike]] = None
+        self,
+        cache_dir: Optional[Union[str, os.PathLike]] = None,
+        *,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self._memory: Dict[str, Series] = {}
         #: JSON-blob layer (DES replay outcomes and other non-series
@@ -148,6 +168,16 @@ class SweepCache:
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self.fault_injector = fault_injector
+        #: Hung here by the batch runner: a
+        #: :class:`~repro.experiments.checkpoint.SweepCheckpoint` the
+        #: sweeps consult for shard-granular mid-sweep resume.  The
+        #: cache is the batch's memory plane, already threaded through
+        #: every sweep, so the checkpoint rides it rather than growing
+        #: every experiment signature.
+        self.checkpoint = None
+        self._disk_disabled = False
+        self._disk_attempts: Dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -174,7 +204,7 @@ class SweepCache:
         series = tuple(series)
         self._memory[key] = series
         self.stats.stores += 1
-        if self.cache_dir is not None:
+        if self._disk_writable():
             self._store_disk(key, series)
 
     # -- JSON-payload layer (DES replay outcomes) ---------------------------
@@ -199,15 +229,22 @@ class SweepCache:
         ints are ints, floats render by shortest round-trip repr)."""
         self._payloads[key] = payload
         self.stats.stores += 1
-        if self.cache_dir is not None:
+        if self._disk_writable():
             blob = {
                 "format_version": CACHE_FORMAT_VERSION,
                 "key": key,
                 "payload": payload,
             }
-            _atomic_write_bytes(
-                self._payload_path(key),
-                (json.dumps(blob, sort_keys=True) + "\n").encode("utf-8"),
+            self._write_entry(
+                key,
+                [
+                    (
+                        self._payload_path(key),
+                        (json.dumps(blob, sort_keys=True) + "\n").encode(
+                            "utf-8"
+                        ),
+                    )
+                ],
             )
 
     def _payload_path(self, key: str) -> Path:
@@ -296,25 +333,74 @@ class SweepCache:
             self.cache_dir / f"{key}.npy",
         )
 
+    def _disk_writable(self) -> bool:
+        return self.cache_dir is not None and not self._disk_disabled
+
+    def _write_entry(
+        self, key: str, blobs: Sequence[Tuple[Path, bytes]]
+    ) -> None:
+        """Write one entry's files, with fault injection and degradation.
+
+        Any ``OSError`` (``ENOSPC``, ``PermissionError``, a vanished
+        directory, ...) counts one ``disk_errors``, warns once, and
+        flips the cache to memory-only writes — a sweep must survive a
+        full or revoked disk, not crash on it.  An injected torn write
+        lands the first file truncated at its *final* path and skips
+        the rest, simulating a crash mid-write; loads treat the damage
+        as a stale miss.
+        """
+        attempt = self._disk_attempts.get(key, 0)
+        self._disk_attempts[key] = attempt + 1
+        injected = (
+            self.fault_injector.disk_fault(key, attempt)
+            if self.fault_injector is not None
+            else None
+        )
+        try:
+            if injected == SLOW_IO:
+                time.sleep(self.fault_injector.slow_io_seconds)
+            for path, blob in blobs:
+                if injected == TORN_WRITE:
+                    path.write_bytes(blob[: max(1, len(blob) // 2)])
+                    return
+                if injected == ENOSPC:
+                    self.fault_injector.raise_enospc(str(path))
+                _atomic_write_bytes(path, blob)
+        except OSError as exc:
+            self.stats.disk_errors += 1
+            if not self._disk_disabled:
+                self._disk_disabled = True
+                warnings.warn(
+                    f"sweep cache disk layer disabled after write error "
+                    f"({exc}); continuing memory-only",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+
     def _store_disk(self, key: str, series: Series) -> None:
         json_path, npy_path = self._paths(key)
         matrix = _series_to_matrix(series)
         buffer = io.BytesIO()
         np.save(buffer, matrix, allow_pickle=False)
-        # Array first, stamp second: a crash between the two leaves no
-        # valid stamp, so the half-written entry reads as a clean miss.
-        _atomic_write_bytes(npy_path, buffer.getvalue())
         stamp = {
             "format_version": CACHE_FORMAT_VERSION,
             "key": key,
             "fields": list(_FIELDS),
             "rows": len(series),
         }
-        _atomic_write_bytes(
-            json_path,
-            (json.dumps(stamp, indent=1, sort_keys=True) + "\n").encode(
-                "utf-8"
-            ),
+        # Array first, stamp second: a crash between the two leaves no
+        # valid stamp, so the half-written entry reads as a clean miss.
+        self._write_entry(
+            key,
+            [
+                (npy_path, buffer.getvalue()),
+                (
+                    json_path,
+                    (
+                        json.dumps(stamp, indent=1, sort_keys=True) + "\n"
+                    ).encode("utf-8"),
+                ),
+            ],
         )
 
     def _load_disk(self, key: str) -> Optional[Series]:

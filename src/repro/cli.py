@@ -350,6 +350,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     from repro.cache import SweepCache
     from repro.query import QueryPlane
+    from repro.resilience import Deadline, DegradationPolicy
 
     dataset = _build_dataset(args.dataset, args.users, args.seed)
     model = make_model(args.model)
@@ -373,16 +374,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
         backend=args.backend,
         seed=args.seed,
         cache=cache,
+        degradation=DegradationPolicy(mode=args.degraded),
     )
     warm_start = perf_counter()
     plane.warm()
     warm_seconds = perf_counter() - warm_start
 
+    def _deadline():
+        if args.deadline_ms is None:
+            return None
+        return Deadline.after_ms(args.deadline_ms)
+
     rows = []
     latencies_ms: List[float] = []
     for user in cohort:
         start = perf_counter()
-        metrics = plane.evaluate(user, policy, args.k)
+        outcome = plane.evaluate_resilient(
+            user, policy, args.k, deadline=_deadline()
+        )
+        metrics = outcome.unwrap()
         latencies_ms.append((perf_counter() - start) * 1e3)
         rows.append(
             (
@@ -396,6 +406,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     if metrics.delay_hours_actual != float("inf")
                     else "inf"
                 ),
+                outcome.reason or "fresh",
             )
         )
     print(
@@ -407,6 +418,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "aod time",
                 "aod activity",
                 "delay (h)",
+                "served",
             ),
             rows,
         )
@@ -415,7 +427,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     warm_ms: List[float] = []
     for user in cohort:
         start = perf_counter()
-        plane.evaluate(user, policy, args.k)
+        plane.evaluate_resilient(
+            user, policy, args.k, deadline=_deadline()
+        ).unwrap()
         warm_ms.append((perf_counter() - start) * 1e3)
     latencies_ms.sort()
     warm_ms.sort()
@@ -431,14 +445,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     evaluators = stats["evaluators"]
     results = stats["results"]
-    print(
+    line = (
         f"[query] plane: {stats['queries']} queries, "
         f"{stats['result_hits']} result hits, "
         f"{stats['store_hits']} store hits; evaluators "
         f"{evaluators['entries']}/{evaluators['max_entries']}, results "
         f"{results['entries']}/{results['max_entries']}"
     )
+    for counter in ("stale_served", "fallback_served", "failed"):
+        if stats.get(counter):
+            line += f"; {stats[counter]} {counter.replace('_', ' ')}"
+    print(line)
     return 0
+
+
+def _cmd_reap(args: argparse.Namespace) -> int:
+    from repro.resilience import SegmentRegistry, default_registry
+
+    registry = (
+        SegmentRegistry(args.registry_dir)
+        if args.registry_dir
+        else default_registry()
+    )
+    report = registry.reap()
+    print(
+        f"[reap] {registry.directory}: scanned {report.scanned} "
+        f"record(s), reaped {len(report.reaped)} orphaned segment(s), "
+        f"kept {len(report.kept)} live"
+        + (f", {len(report.errors)} error(s)" if report.errors else "")
+    )
+    for name in report.reaped:
+        print(f"[reap] unlinked {name}")
+    for error in report.errors:
+        print(f"[reap] error: {error}", file=sys.stderr)
+    return 1 if report.errors else 0
 
 
 def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
@@ -782,7 +822,43 @@ def build_parser() -> argparse.ArgumentParser:
             "repeated queries load bit-identical metrics"
         ),
     )
+    p_query.add_argument(
+        "--deadline-ms",
+        type=_positive_float,
+        default=None,
+        metavar="MS",
+        help=(
+            "per-query latency budget; a query past it degrades per "
+            "--degraded instead of blocking (default: no deadline)"
+        ),
+    )
+    p_query.add_argument(
+        "--degraded",
+        default="refuse",
+        choices=("refuse", "stale", "fallback"),
+        help=(
+            "what a failed or over-deadline query serves: 'refuse' "
+            "raises (default), 'stale' serves the nearest stored "
+            "lower-degree answer flagged as stale, 'fallback' retries "
+            "on the scalar reference path (bit-identical) and only "
+            "then falls back to stale; every degraded answer is "
+            "flagged in the 'served' column"
+        ),
+    )
     p_query.set_defaults(fn=_cmd_query)
+
+    p_reap = sub.add_parser(
+        "reap",
+        help="unlink shared-memory segments leaked by dead processes",
+    )
+    p_reap.add_argument(
+        "--registry-dir",
+        help=(
+            "segment registry directory (default: the per-user registry, "
+            "also overridable via REPRO_SEGMENT_REGISTRY_DIR)"
+        ),
+    )
+    p_reap.set_defaults(fn=_cmd_reap)
 
     return parser
 

@@ -538,6 +538,25 @@ def sweep_replication_degree(
         )
     if compute_policies:
         executor = executor or ParallelExecutor()
+        # Shard-granular checkpoints (see repro.experiments.checkpoint)
+        # ride on the cache plane: the batch runner hangs a
+        # SweepCheckpoint on the cache, and every completed
+        # (repeat, shard) slice is persisted so an interrupted sweep
+        # resumes mid-flight instead of from scratch.  Content-addressed
+        # like the cache itself, so execution knobs don't fragment it.
+        checkpoint = getattr(cache, "checkpoint", None)
+        ck_key = None
+        if checkpoint is not None:
+            ck_key = checkpoint.key_for(
+                dataset,
+                model,
+                compute_policies,
+                mode=mode,
+                degrees=degrees,
+                users=users,
+                seed=seed,
+                repeats=repeats,
+            )
         runs: Dict[str, List[List[AggregateMetrics]]] = {
             p.name: [[] for _ in degrees] for p in compute_policies
         }
@@ -568,17 +587,35 @@ def sweep_replication_degree(
             ):
                 if lo == hi:
                     continue
+                shard_users = users[lo:hi]
+                if ck_key is not None:
+                    stored = checkpoint.load(
+                        ck_key, r, shard, users=shard_users
+                    )
+                    if stored is not None:
+                        per_user.extend(stored)
+                        continue
                 phase = f"sweep[{model.name}]"
                 if shards > 1:
                     phase += f"[shard {shard + 1}/{shards}]"
-                per_user.extend(
+                shard_cells = list(
                     executor.map_shared(
                         evaluate_users_chunk,
                         payload,
-                        users[lo:hi],
+                        shard_users,
                         phase=phase,
                     )
                 )
+                if ck_key is not None and not any(
+                    is_quarantined(cell) for cell in shard_cells
+                ):
+                    # Quarantine decisions belong to the run that made
+                    # them: a shard with excluded users is never
+                    # checkpointed, so a resume re-judges it afresh.
+                    checkpoint.store(
+                        ck_key, r, shard, shard_users, shard_cells
+                    )
+                per_user.extend(shard_cells)
             # Quarantined users drop out of the aggregation (the means
             # cover the surviving cohort); the executor's FailureReport
             # records exactly who was excluded and why.

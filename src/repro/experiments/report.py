@@ -125,6 +125,12 @@ class ExperimentResult:
                     if cache.get("disk_hits")
                     else ""
                 )
+                + (
+                    f", {cache['disk_errors']} disk errors "
+                    f"(memory-only)"
+                    if cache.get("disk_errors")
+                    else ""
+                )
             )
         plane = self.timings.get("query_plane")
         if plane is not None:
@@ -134,6 +140,12 @@ class ExperimentResult:
                 f"{plane['store_hits']} store hits, "
                 f"{plane['batched']} batched"
             )
+            for counter in ("stale_served", "fallback_served", "failed"):
+                if plane.get(counter):
+                    line += (
+                        f", {plane[counter]} "
+                        f"{counter.replace('_', ' ')}"
+                    )
             for lru in ("evaluators", "sequences", "results"):
                 stats = plane.get(lru)
                 if stats:

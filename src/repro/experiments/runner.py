@@ -40,6 +40,7 @@ from repro.cache import SweepCache
 from repro.core.incremental import INCREMENTAL
 from repro.parallel import FaultInjector, ParallelExecutor, RetryPolicy
 from repro.timeline.packed import PYTHON
+from repro.experiments.checkpoint import SweepCheckpoint
 from repro.experiments.config import BENCH, ExperimentScale
 from repro.experiments.figures import experiment_ids, run_experiment
 from repro.experiments.report import ExperimentResult
@@ -123,7 +124,12 @@ def _atomic_write_text(path: Path, text: str) -> None:
 
 
 #: Version stamp of the journal schema; bumped on incompatible changes.
-JOURNAL_FORMAT_VERSION = 1
+#: v2 added the ``checkpoints`` ledger (shard-granular sweep resume);
+#: v1 journals are still accepted on resume — they simply carry none.
+JOURNAL_FORMAT_VERSION = 2
+
+#: Journal versions :meth:`BatchJournal.open` can resume from.
+_READABLE_JOURNAL_VERSIONS = frozenset({1, JOURNAL_FORMAT_VERSION})
 
 #: Journal statuses an experiment moves through.
 PENDING = "pending"
@@ -148,6 +154,11 @@ class BatchJournal:
     path: Path
     scale: str
     statuses: Dict[str, str]
+    #: Completed shard-granular sweep checkpoints
+    #: (:meth:`~repro.experiments.checkpoint.SweepCheckpoint.shard_id`
+    #: strings).  Content-addressed, so they survive resume unchanged
+    #: and a re-run of the same sweep skips straight past them.
+    checkpoints: List[str] = dataclasses.field(default_factory=list)
 
     @classmethod
     def open(
@@ -169,14 +180,23 @@ class BatchJournal:
         """
         path = Path(path)
         statuses = {eid: PENDING for eid in ids}
+        checkpoints: List[str] = []
         if resume and path.exists():
             blob = json.loads(path.read_text(encoding="utf-8"))
             version = blob.get("format_version")
-            if version != JOURNAL_FORMAT_VERSION:
+            if version not in _READABLE_JOURNAL_VERSIONS:
                 raise ValueError(
                     f"journal {path} has format_version {version!r}; "
                     f"this build writes {JOURNAL_FORMAT_VERSION}"
                 )
+            recorded = blob.get("checkpoints", [])
+            if not isinstance(recorded, list) or any(
+                not isinstance(c, str) for c in recorded
+            ):
+                raise ValueError(
+                    f"journal {path} has a malformed checkpoints ledger"
+                )
+            checkpoints = list(recorded)
             if blob.get("scale") != scale:
                 raise ValueError(
                     f"journal {path} records scale {blob.get('scale')!r} "
@@ -194,7 +214,12 @@ class BatchJournal:
                 # A 'running' entry means the previous run died mid-way
                 # through this experiment; its outputs are suspect.
                 statuses[eid] = FAILED if status == RUNNING else status
-        journal = cls(path=path, scale=scale, statuses=statuses)
+        journal = cls(
+            path=path,
+            scale=scale,
+            statuses=statuses,
+            checkpoints=checkpoints,
+        )
         journal.write()
         return journal
 
@@ -207,6 +232,16 @@ class BatchJournal:
         self.statuses[experiment_id] = status
         self.write()
 
+    def mark_checkpoint(self, shard_id: str) -> None:
+        """Record one completed sweep shard (idempotent, persisted)."""
+        if shard_id in self.checkpoints:
+            return
+        self.checkpoints.append(shard_id)
+        self.write()
+
+    def has_checkpoint(self, shard_id: str) -> bool:
+        return shard_id in self.checkpoints
+
     def done_ids(self) -> List[str]:
         return [e for e, s in self.statuses.items() if s == DONE]
 
@@ -215,6 +250,7 @@ class BatchJournal:
             "format_version": JOURNAL_FORMAT_VERSION,
             "scale": self.scale,
             "experiments": dict(self.statuses),
+            "checkpoints": sorted(self.checkpoints),
         }
 
     def write(self) -> None:
@@ -287,6 +323,9 @@ def summarize_batch(
             entries=len(cache),
             cache_dir=str(cache.cache_dir) if cache.cache_dir else None,
         )
+        checkpoint = getattr(cache, "checkpoint", None)
+        if checkpoint is not None:
+            summary["checkpoints"] = checkpoint.stats()
     if executor is not None:
         summary["pool"] = executor.pool_stats.as_dict()
         if executor.failures:
@@ -306,10 +345,24 @@ def render_batch_summary(summary: Dict[str, Any]) -> str:
         where = (
             f", disk at {cache['cache_dir']}" if cache.get("cache_dir") else ""
         )
-        lines.append(
+        line = (
             f"[batch] cache: {cache['hits']} hits, {cache['misses']} misses, "
             f"{cache['stale']} stale, {cache['stores']} stores "
             f"({cache['entries']} entries{where})"
+        )
+        if cache.get("disk_errors"):
+            line += (
+                f"; {cache['disk_errors']} disk errors (degraded to "
+                f"memory-only)"
+            )
+        lines.append(line)
+    checkpoints = summary.get("checkpoints")
+    if checkpoints is not None and (
+        checkpoints.get("loads") or checkpoints.get("stores")
+    ):
+        lines.append(
+            f"[batch] checkpoints: {checkpoints['loads']} shard loads, "
+            f"{checkpoints['stores']} stores, {checkpoints['stale']} stale"
         )
     pool = summary.get("pool")
     if pool is not None and (pool.get("starts") or pool.get("reuses")):
@@ -427,6 +480,14 @@ def run_batch(
     journal = BatchJournal.open(
         out / "journal.json", scale=scale.name, ids=all_ids, resume=resume
     )
+    checkpoint: Optional[SweepCheckpoint] = None
+    if cache is not None:
+        # Shard-granular sweep checkpoints ride on the cache plane (the
+        # cache is already threaded through every sweep); with
+        # use_cache=False there is no plane to hang them on, and the
+        # batch resumes at experiment granularity only.
+        checkpoint = SweepCheckpoint(out / "checkpoints", journal=journal)
+        cache.checkpoint = checkpoint
     skipped = [
         eid
         for eid in all_ids

@@ -25,9 +25,14 @@ from repro.parallel.executor import (
 )
 from repro.parallel.faults import (
     CRASH,
+    ENOSPC,
     ERROR,
     FAULT_KINDS,
     HANG,
+    POISON_QUERY,
+    SHM_LEAK,
+    SLOW_IO,
+    TORN_WRITE,
     FaultInjector,
     FaultRule,
     InjectedFault,
@@ -55,6 +60,7 @@ __all__ = [
     "CRASH",
     "ChunkFailure",
     "ChunkFailureError",
+    "ENOSPC",
     "ERROR",
     "FAULT_KINDS",
     "FailureReport",
@@ -66,11 +72,15 @@ __all__ = [
     "PhaseTiming",
     "PlacementPayload",
     "PoolStats",
+    "POISON_QUERY",
     "QUARANTINED",
     "Quarantined",
     "QuarantinedItem",
     "RetryPolicy",
+    "SHM_LEAK",
+    "SLOW_IO",
     "SweepPayload",
+    "TORN_WRITE",
     "evaluate_user_cell",
     "evaluate_users_chunk",
     "fork_available",

@@ -9,7 +9,7 @@ chunk faults in the same way on every run, in every worker, under every
 ``PYTHONHASHSEED``, because all probabilistic decisions derive from
 :func:`repro.seeding.derive_seed`.
 
-Three fault kinds, mirroring how real workers die:
+Fault kinds, mirroring how real systems die.  Worker-chunk kinds:
 
 * ``"crash"`` — the worker process exits hard (``os._exit``), the way a
   segfaulting native extension or an OOM kill takes a fork down.  The
@@ -19,8 +19,35 @@ Three fault kinds, mirroring how real workers die:
   (``chunk_timeout``) recovers from this.
 * ``"error"`` — the worker raises :class:`InjectedFault`, the way an
   ordinary per-item bug surfaces.  The pool survives; the chunk retries.
+* ``"shm-leak"`` — the worker allocates a shared-memory segment,
+  registers it in the :class:`~repro.resilience.SegmentRegistry` and
+  never frees it, the way a SIGKILLed owner leaks ``/dev/shm`` pages.
+  The work itself succeeds; only the registry reaper can recover the
+  segment.
 
-Faults trigger per *chunk attempt*: a rule with ``times=1`` faults the
+Disk kinds (consulted by the cache's on-disk layer via
+:meth:`FaultInjector.disk_fault`):
+
+* ``"torn-write"`` — the write lands truncated at its final path, the
+  way a crash mid-write tears a file.  Loads must treat it as a stale
+  miss.
+* ``"enospc"`` — the write raises ``OSError(ENOSPC)``, the way a full
+  disk behaves.  The cache must degrade to memory-only, not crash.
+* ``"slow-io"`` — the write stalls for ``slow_io_seconds`` first, the
+  way a saturated device behaves.
+
+Serving kind (consulted by the query plane via
+:meth:`FaultInjector.apply_query`):
+
+* ``"poison-query"`` — the query's compute raises
+  :class:`InjectedFault`, the way a poisoned request surfaces.  With
+  ``times=1`` the fallback retry succeeds; with ``times=None`` every
+  path fails and only stale serving or refusal remains.
+
+Each injection site only consults its own kinds, so one plan can mix
+worker, disk and query faults without cross-firing.
+
+Faults trigger per *attempt*: a rule with ``times=1`` faults the
 first attempt at any matching chunk and lets the retry succeed, while
 ``times=None`` faults every attempt — a *poison* rule, which the
 supervisor must bisect down to and quarantine.  Rules can match specific
@@ -29,11 +56,12 @@ items (``items={user_id}``) or any chunk (``items=frozenset()``).
 The serial (``jobs=1``) path consults the injector too, but only
 ``"error"`` rules apply there — crashing or hanging the calling process
 would take the whole run down, which is exactly what supervision exists
-to prevent.
+to prevent (and a leaked segment would belong to the supervisor itself).
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import time
 from dataclasses import dataclass, field
@@ -41,12 +69,35 @@ from typing import Any, Iterable, Optional, Sequence, Tuple
 
 from repro.seeding import derive_rng
 
-#: Fault kinds, in increasing order of subtlety.
+#: Worker-chunk fault kinds, in increasing order of subtlety.
 CRASH = "crash"
 HANG = "hang"
 ERROR = "error"
+SHM_LEAK = "shm-leak"
 
-FAULT_KINDS: Tuple[str, ...] = (CRASH, HANG, ERROR)
+#: Disk-layer fault kinds.
+TORN_WRITE = "torn-write"
+ENOSPC = "enospc"
+SLOW_IO = "slow-io"
+
+#: Serving-path fault kinds.
+POISON_QUERY = "poison-query"
+
+FAULT_KINDS: Tuple[str, ...] = (
+    CRASH,
+    HANG,
+    ERROR,
+    SHM_LEAK,
+    TORN_WRITE,
+    ENOSPC,
+    SLOW_IO,
+    POISON_QUERY,
+)
+
+#: The kinds each injection site consults.
+CHUNK_KINDS: Tuple[str, ...] = (CRASH, HANG, ERROR, SHM_LEAK)
+DISK_KINDS: Tuple[str, ...] = (TORN_WRITE, ENOSPC, SLOW_IO)
+QUERY_KINDS: Tuple[str, ...] = (POISON_QUERY,)
 
 #: Exit code used by injected crashes, distinguishable from real faults.
 CRASH_EXIT_CODE = 87
@@ -108,10 +159,22 @@ class FaultInjector:
     rules: Tuple[FaultRule, ...] = ()
     seed: int = 0
     hang_seconds: float = 60.0
+    #: How long a ``"slow-io"`` fault stalls a disk write.
+    slow_io_seconds: float = 0.05
+    #: Where ``"shm-leak"`` faults register their leaked segments; ``None``
+    #: uses the process default registry.  A path string (not a registry
+    #: object) so the frozen injector stays trivially picklable.
+    registry_dir: Optional[str] = None
+    #: Size of a leaked segment — tiny on purpose; the *leak* is the test.
+    leak_bytes: int = 64
 
     def __post_init__(self) -> None:
         if self.hang_seconds <= 0:
             raise ValueError("hang_seconds must be > 0")
+        if self.slow_io_seconds < 0:
+            raise ValueError("slow_io_seconds must be >= 0")
+        if self.leak_bytes < 1:
+            raise ValueError("leak_bytes must be >= 1")
 
     # -- constructors -------------------------------------------------------
 
@@ -181,11 +244,66 @@ class FaultInjector:
         )
         return cls(rules=rules, seed=seed, hang_seconds=hang_seconds)
 
+    @classmethod
+    def poison_queries(
+        cls,
+        users: Iterable[Any],
+        *,
+        times: Optional[int] = None,
+        seed: int = 0,
+    ) -> "FaultInjector":
+        """Poison the given users' point queries.
+
+        ``times=None`` (default) poisons every compute attempt — only
+        stale serving or refusal survives; ``times=1`` poisons only the
+        primary attempt, so the fallback retry recovers.
+        """
+        return cls(
+            rules=(
+                FaultRule(
+                    POISON_QUERY, items=frozenset(users), times=times
+                ),
+            ),
+            seed=seed,
+        )
+
+    @classmethod
+    def disk_faults(
+        cls,
+        *,
+        torn: float = 0.0,
+        enospc: float = 0.0,
+        slow: float = 0.0,
+        times: Optional[int] = 1,
+        seed: int = 0,
+        slow_io_seconds: float = 0.05,
+    ) -> "FaultInjector":
+        """Probabilistic disk-fault plan for the cache's on-disk layer."""
+        rules = tuple(
+            FaultRule(kind, times=times, probability=p)
+            for kind, p in ((TORN_WRITE, torn), (ENOSPC, enospc), (SLOW_IO, slow))
+            if p > 0.0
+        )
+        return cls(rules=rules, seed=seed, slow_io_seconds=slow_io_seconds)
+
     # -- behaviour ----------------------------------------------------------
 
-    def fault_for(self, items: Sequence[Any], attempt: int) -> Optional[str]:
-        """The fault kind to inject for this chunk attempt, if any."""
+    def fault_for(
+        self,
+        items: Sequence[Any],
+        attempt: int,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> Optional[str]:
+        """The fault kind to inject for this attempt, if any.
+
+        ``kinds`` restricts matching to one injection site's kinds (a
+        chunk site never fires a disk rule and vice versa); ``None``
+        considers every rule — the original chunk-site behaviour, kept
+        for compatibility with existing chunk-only plans.
+        """
         for rule in self.rules:
+            if kinds is not None and rule.kind not in kinds:
+                continue
             if rule.matches(items, attempt, self.seed):
                 return rule.kind
         return None
@@ -197,23 +315,85 @@ class FaultInjector:
         *,
         in_worker: bool = True,
     ) -> None:
-        """Inject the planned fault for this chunk attempt, if any.
+        """Inject the planned chunk fault for this attempt, if any.
 
         Called by the pool's chunk runner before the real work.  With
         ``in_worker=False`` (the serial path) only ``"error"`` faults
-        fire — crash/hang would kill the supervising process itself.
+        fire — crash/hang would kill the supervising process itself,
+        and a leaked segment would be charged to the supervisor.
         """
-        kind = self.fault_for(items, attempt)
+        kind = self.fault_for(items, attempt, CHUNK_KINDS)
         if kind is None:
             return
         if kind == CRASH and in_worker:
             os._exit(CRASH_EXIT_CODE)
         elif kind == HANG and in_worker:
             time.sleep(self.hang_seconds)
+        elif kind == SHM_LEAK and in_worker:
+            self._leak_segment()
         elif kind == ERROR:
             raise InjectedFault(
                 f"injected fault on attempt {attempt} "
                 f"(chunk of {len(items)} starting at {items[0]!r})"
                 if items
                 else f"injected fault on attempt {attempt} (empty chunk)"
+            )
+
+    def _leak_segment(self) -> None:
+        """Allocate a registered shm segment and deliberately lose it.
+
+        The segment is dropped from this process's resource tracker —
+        exactly the state a SIGKILLed owner leaves behind — so nothing
+        but a :meth:`~repro.resilience.SegmentRegistry.reap` pass can
+        recover it.  The chunk's real work then proceeds normally.
+        """
+        from multiprocessing import resource_tracker, shared_memory
+
+        from repro.resilience.segments import (
+            SegmentRegistry,
+            default_registry,
+        )
+
+        seg = shared_memory.SharedMemory(create=True, size=self.leak_bytes)
+        registry = (
+            SegmentRegistry(self.registry_dir)
+            if self.registry_dir is not None
+            else default_registry()
+        )
+        registry.register(seg.name, self.leak_bytes)
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+        # Close our mapping but never unlink: the segment is now orphaned.
+        seg.close()
+
+    def disk_fault(self, key: str, attempt: int) -> Optional[str]:
+        """The disk fault to inject for this write attempt, if any.
+
+        ``key`` is the cache entry's content address; rules with
+        ``items`` match against it, empty-item rules match every write.
+        """
+        return self.fault_for([key], attempt, DISK_KINDS)
+
+    def raise_enospc(self, path: str) -> None:
+        """Raise the ``OSError`` a full disk would produce at ``path``."""
+        raise OSError(
+            errno.ENOSPC, "No space left on device (injected)", path
+        )
+
+    def apply_query(self, user: Any, attempt: int) -> None:
+        """Inject a poisoned-query fault for this compute attempt, if any.
+
+        Consulted by the query plane before each compute: ``attempt=0``
+        is the primary path, ``attempt=1`` the degraded fallback retry —
+        so ``times=1`` rules poison only the primary (a transient kernel
+        failure) while ``times=None`` rules poison both (a truly
+        poisoned request).
+        """
+        kind = self.fault_for([user], attempt, QUERY_KINDS)
+        if kind == POISON_QUERY:
+            raise InjectedFault(
+                f"injected poisoned query for user {user!r} "
+                f"on attempt {attempt}"
             )

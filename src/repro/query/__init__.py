@@ -10,7 +10,14 @@ availability/AOD does X get under policy P" — at interactive latency:
   queries, with bounded LRUs and an optional shared
   :class:`~repro.cache.SweepCache` content-address store;
 * :class:`MicroBatcher` coalesces concurrent requests into one
-  vectorised :meth:`QueryPlane.evaluate_many` call.
+  vectorised :meth:`QueryPlane.evaluate_many` call, isolating failures
+  per request;
+* the resilient entry points (``evaluate_resilient`` /
+  ``evaluate_many_resilient``) add per-request
+  :class:`~repro.resilience.Deadline` budgets, circuit-broken fallback
+  to the scalar reference path, and stale-if-error serving — every
+  degraded answer flagged via
+  :class:`~repro.resilience.DegradedResult`.
 
 Both are bit-identical to the batch path by construction: every query
 routes through the same per-user kernel the sweeps fan out.

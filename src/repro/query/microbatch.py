@@ -5,13 +5,13 @@ within a few milliseconds of each other would each pay their own cold
 overlap scans.  :class:`MicroBatcher` holds the first arrival for a
 short window (default 2 ms), drains every request that queued behind it,
 and answers the whole batch through one
-:meth:`~repro.query.plane.QueryPlane.evaluate_many` call — so the cold
-work vectorises across the batch (one
+:meth:`~repro.query.plane.QueryPlane.evaluate_many_resilient` call — so
+the cold work vectorises across the batch (one
 :meth:`~repro.timeline.packed.PackedSchedules.overlap_pairs` dispatch
 instead of per-pair scalar scans).
 
-Batching is a *latency/throughput* trade only: ``evaluate_many`` routes
-every query through the same kernels as a lone
+Batching is a *latency/throughput* trade only: the plane routes every
+query through the same kernels as a lone
 :meth:`~repro.query.plane.QueryPlane.evaluate`, so batched answers are
 bit-identical to unbatched ones regardless of arrival order or batch
 composition.
@@ -19,8 +19,13 @@ composition.
 Leader/follower protocol: the thread whose request finds the queue
 empty becomes the leader — it sleeps out the window, drains the queue,
 runs the batch, and publishes each result through a per-request event.
-Followers just wait on their event.  An exception inside the batch
-propagates to every member.
+Followers just wait on their event.  **Failures are isolated per
+request**: the plane returns one
+:class:`~repro.resilience.DegradedResult` per batch member, so a
+poisoned request raises only for the caller that issued it — its batch
+neighbours still get their answers.  (A failure *outside* the
+per-request path — the batcher's own bookkeeping — still propagates to
+every member; there is nothing per-request about it.)
 """
 
 from __future__ import annotations
@@ -33,15 +38,16 @@ from repro.core.metrics import UserMetrics
 from repro.core.placement.base import PlacementPolicy
 from repro.graph.social_graph import UserId
 from repro.query.plane import QueryPlane, QueryRequest
+from repro.resilience import Deadline, DegradedResult
 
 
 class _Pending:
-    __slots__ = ("request", "event", "result", "error")
+    __slots__ = ("request", "event", "outcome", "error")
 
     def __init__(self, request: QueryRequest):
         self.request = request
         self.event = threading.Event()
-        self.result: Optional[UserMetrics] = None
+        self.outcome: Optional[DegradedResult] = None
         self.error: Optional[BaseException] = None
 
 
@@ -65,12 +71,40 @@ class MicroBatcher:
         self._batches = 0
         self._batched_requests = 0
         self._largest_batch = 0
+        self._degraded_answers = 0
+        self._failed_requests = 0
 
     def evaluate(
-        self, user: UserId, policy: PlacementPolicy, k: int
+        self,
+        user: UserId,
+        policy: PlacementPolicy,
+        k: int,
+        *,
+        deadline: Optional[Deadline] = None,
     ) -> UserMetrics:
-        """Query through the batcher; blocks until the batch answers."""
-        pending = _Pending(QueryRequest(user, policy, int(k)))
+        """Query through the batcher; blocks until the batch answers.
+
+        Raises this request's own error (a poisoned or refused request
+        never takes its batch neighbours down with it); degraded
+        answers are unwrapped — use :meth:`evaluate_resilient` to see
+        the flag.
+        """
+        return self.evaluate_resilient(
+            user, policy, k, deadline=deadline
+        ).unwrap()
+
+    def evaluate_resilient(
+        self,
+        user: UserId,
+        policy: PlacementPolicy,
+        k: int,
+        *,
+        deadline: Optional[Deadline] = None,
+    ) -> DegradedResult:
+        """Query through the batcher, with degradation provenance."""
+        pending = _Pending(
+            QueryRequest(user, policy, int(k), deadline=deadline)
+        )
         with self._lock:
             self._queue.append(pending)
             leader = len(self._queue) == 1
@@ -84,12 +118,23 @@ class MicroBatcher:
                 self._batched_requests += len(batch)
                 self._largest_batch = max(self._largest_batch, len(batch))
             try:
-                results = self.plane.evaluate_many(
+                outcomes = self.plane.evaluate_many_resilient(
                     [p.request for p in batch]
                 )
-                for p, result in zip(batch, results):
-                    p.result = result
-            except BaseException as exc:  # propagate to every member
+                degraded = 0
+                failed = 0
+                for p, outcome in zip(batch, outcomes):
+                    p.outcome = outcome
+                    if outcome.error is not None:
+                        failed += 1
+                    elif outcome.degraded:
+                        degraded += 1
+                with self._lock:
+                    self._degraded_answers += degraded
+                    self._failed_requests += failed
+            except BaseException as exc:
+                # Batcher-level failure (not attributable to any single
+                # request): every member sees it.
                 for p in batch:
                     p.error = exc
             finally:
@@ -98,7 +143,7 @@ class MicroBatcher:
         pending.event.wait()
         if pending.error is not None:
             raise pending.error
-        return pending.result
+        return pending.outcome
 
     def stats(self) -> dict:
         with self._lock:
@@ -106,4 +151,6 @@ class MicroBatcher:
                 "batches": self._batches,
                 "batched_requests": self._batched_requests,
                 "largest_batch": self._largest_batch,
+                "degraded_answers": self._degraded_answers,
+                "failed_requests": self._failed_requests,
             }

@@ -33,6 +33,19 @@ Micro-batching lives in :mod:`repro.query.microbatch`:
 into single vectorised kernel calls
 (:meth:`~repro.timeline.packed.PackedSchedules.overlap_pairs`) before
 finishing each query on the shared scalar path.
+
+Degraded serving (:meth:`QueryPlane.evaluate_resilient` /
+:meth:`QueryPlane.evaluate_many_resilient`) layers the resilience
+primitives on top: per-request :class:`~repro.resilience.Deadline`
+budgets checked between pipeline stages, a
+:class:`~repro.resilience.CircuitBreaker`-guarded fallback from the
+numpy kernels to the python scalar reference path (bit-identical by the
+backend-identity contract, so a fallback answer differs only in
+latency), and stale-if-error serving of previously stored payload
+blobs under the :class:`~repro.resilience.DegradationPolicy` the plane
+was built with.  Every degraded answer comes back as a
+:class:`~repro.resilience.DegradedResult` with an explicit flag and
+reason — degraded serving is visible, never silent.
 """
 
 from __future__ import annotations
@@ -58,6 +71,14 @@ from repro.onlinetime.base import (
     OnlineTimeModel,
     compute_schedules,
     packed_schedules,
+)
+from repro.parallel.faults import FaultInjector
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    DegradationPolicy,
+    DegradedResult,
 )
 from repro.seeding import derive_rng
 from repro.timeline.packed import NUMPY, PYTHON, check_backend
@@ -106,11 +127,16 @@ def metrics_from_payload(payload: dict) -> UserMetrics:
 
 @dataclass(frozen=True, eq=False)
 class QueryRequest:
-    """One point query: place-and-evaluate ``user`` at degree ``k``."""
+    """One point query: place-and-evaluate ``user`` at degree ``k``.
+
+    ``deadline`` is the request's optional time budget, honoured by the
+    resilient entry points (each batched request carries its own).
+    """
 
     user: UserId
     policy: PlacementPolicy
     k: int
+    deadline: Optional[Deadline] = None
 
 
 class _LRU:
@@ -136,6 +162,11 @@ class _LRU:
         self._data.move_to_end(key)
         self.hits += 1
         return value
+
+    def peek(self, key):
+        """Read without touching recency or the hit/miss counters (the
+        degraded stale scan must not skew serving statistics)."""
+        return self._data.get(key)
 
     def put(self, key, value) -> None:
         self._data[key] = value
@@ -193,6 +224,9 @@ class QueryPlane:
         max_sequences: int = 1024,
         max_results: int = 4096,
         overlap_max_rows: Optional[int] = None,
+        degradation: Optional[DegradationPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self.dataset = dataset
         self.model = model
@@ -212,6 +246,14 @@ class QueryPlane:
         self._result_hits = 0
         self._store_hits = 0
         self._batched = 0
+        self.degradation = degradation or DegradationPolicy()
+        #: Guards the fast-path compute under the resilient entry points;
+        #: opening it short-circuits straight to the scalar fallback.
+        self.breaker = breaker or CircuitBreaker()
+        self._fault_injector = fault_injector
+        self._stale_served = 0
+        self._fallback_served = 0
+        self._failed = 0
 
     # -- warm state ---------------------------------------------------------
 
@@ -335,10 +377,21 @@ class QueryPlane:
         return key, None
 
     def _compute(
-        self, user: UserId, policy: PlacementPolicy, k: int, lru_key
+        self,
+        user: UserId,
+        policy: PlacementPolicy,
+        k: int,
+        lru_key,
+        deadline: Optional[Deadline] = None,
     ) -> UserMetrics:
+        if self._fault_injector is not None:
+            self._fault_injector.apply_query(user, 0)
+        if deadline is not None:
+            deadline.check("warm-state lookup")
         evaluator = self._evaluator_for(user)
         sequence = self._sequence_for(user, policy, k, evaluator)
+        if deadline is not None:
+            deadline.check("replica selection")
         metrics = evaluate_single(
             self.dataset,
             self._schedules,
@@ -353,6 +406,46 @@ class QueryPlane:
             evaluator=evaluator,
             sequence=sequence,
         )
+        self._finish(user, policy, k, lru_key, metrics)
+        return metrics
+
+    def _compute_fallback(
+        self, user: UserId, policy: PlacementPolicy, k: int, lru_key
+    ) -> UserMetrics:
+        """The degraded retry: the full python scalar reference path.
+
+        Bypasses every piece of possibly-poisoned fast-path state — the
+        packed arrays, the resident evaluator, the cached sequence —
+        and recomputes from the schedules alone with ``backend=python``.
+        The backend-identity contract makes the floats bit-identical to
+        the primary path; only the latency differs.
+        """
+        if self._fault_injector is not None:
+            self._fault_injector.apply_query(user, 1)
+        metrics = evaluate_single(
+            self.dataset,
+            self._schedules,
+            user,
+            policy,
+            k,
+            mode=self.mode,
+            engine=self.engine,
+            backend=PYTHON,
+            seed=self.seed,
+            packed=None,
+        )
+        self._finish(user, policy, k, lru_key, metrics)
+        return metrics
+
+    def _finish(
+        self,
+        user: UserId,
+        policy: PlacementPolicy,
+        k: int,
+        lru_key,
+        metrics: UserMetrics,
+    ) -> None:
+        """Publish a computed answer to the result LRU and the store."""
         self._results.put(lru_key, metrics)
         if self._store is not None:
             self._store.put_payload(
@@ -367,7 +460,6 @@ class QueryPlane:
                 ),
                 metrics_to_payload(metrics),
             )
-        return metrics
 
     # -- queries ------------------------------------------------------------
 
@@ -422,15 +514,208 @@ class QueryPlane:
                 else:
                     misses.append((i, lru_key))
             if misses:
-                self._prewarm_overlaps(
-                    {requests[i].user for i, _ in misses}
-                )
+                self._try_prewarm({requests[i].user for i, _ in misses})
             for i, lru_key in misses:
                 request = requests[i]
                 out[i] = self._compute(
                     request.user, request.policy, int(request.k), lru_key
                 )
             return out
+
+    # -- degraded serving ---------------------------------------------------
+
+    def evaluate_resilient(
+        self,
+        user: UserId,
+        policy: PlacementPolicy,
+        k: int,
+        *,
+        deadline: Optional[Deadline] = None,
+    ) -> DegradedResult:
+        """Evaluate under the plane's degradation policy.
+
+        Always returns a :class:`~repro.resilience.DegradedResult`:
+        fresh answers are unflagged, fallback/stale answers carry their
+        reason, and failures carry the exception (``refuse`` mode never
+        serves degraded answers, so failures are all it can degrade
+        to).  Any value actually *computed* here is bit-identical to
+        :meth:`evaluate` — degradation changes which path runs or which
+        stored answer is served, never any float.
+        """
+        with self._lock:
+            self.warm()
+            self._queries += 1
+            return self._resolve(user, policy, int(k), deadline)
+
+    def evaluate_many_resilient(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[DegradedResult]:
+        """The resilient counterpart of :meth:`evaluate_many`.
+
+        Failures are isolated per request: each outcome is its own
+        :class:`~repro.resilience.DegradedResult`, so one poisoned
+        request never poisons its batch neighbours.  Each request's own
+        ``deadline`` is honoured.
+        """
+        with self._lock:
+            self.warm()
+            out: List[Optional[DegradedResult]] = [None] * len(requests)
+            misses: List[Tuple[int, object]] = []
+            for i, request in enumerate(requests):
+                self._queries += 1
+                self._batched += 1
+                lru_key, metrics = self._lookup(
+                    request.user, request.policy, int(request.k)
+                )
+                if metrics is not None:
+                    out[i] = DegradedResult.fresh(metrics)
+                else:
+                    misses.append((i, lru_key))
+            if misses:
+                self._try_prewarm({requests[i].user for i, _ in misses})
+            for i, lru_key in misses:
+                request = requests[i]
+                out[i] = self._degrade(
+                    request.user,
+                    request.policy,
+                    int(request.k),
+                    lru_key,
+                    request.deadline,
+                )
+            return out
+
+    def _resolve(
+        self,
+        user: UserId,
+        policy: PlacementPolicy,
+        k: int,
+        deadline: Optional[Deadline],
+    ) -> DegradedResult:
+        lru_key, metrics = self._lookup(user, policy, k)
+        if metrics is not None:
+            return DegradedResult.fresh(metrics)
+        return self._degrade(user, policy, k, lru_key, deadline)
+
+    def _degrade(
+        self,
+        user: UserId,
+        policy: PlacementPolicy,
+        k: int,
+        lru_key,
+        deadline: Optional[Deadline],
+    ) -> DegradedResult:
+        """Primary compute, then fallback, then stale, per the policy."""
+        policy_mode = self.degradation
+        error: Optional[BaseException] = None
+        breaker_open = False
+        if (
+            self.backend == NUMPY
+            and policy_mode.allow_fallback
+            and not self.breaker.allow()
+        ):
+            # Open circuit: skip the failing fast path entirely.
+            breaker_open = True
+        else:
+            try:
+                metrics = self._compute(user, policy, k, lru_key, deadline)
+                if self.backend == NUMPY:
+                    self.breaker.record_success()
+                return DegradedResult.fresh(metrics)
+            except DeadlineExceeded as exc:
+                # No budget left: a fallback recompute cannot help, only
+                # an already-stored answer can.
+                return self._serve_stale_or_fail(user, policy, k, exc)
+            except Exception as exc:
+                if self.backend == NUMPY:
+                    self.breaker.record_failure()
+                error = exc
+        if policy_mode.allow_fallback:
+            try:
+                if deadline is not None:
+                    deadline.check("scalar fallback")
+                metrics = self._compute_fallback(user, policy, k, lru_key)
+                self._fallback_served += 1
+                detail = (
+                    "circuit open: scalar path served without trying numpy"
+                    if breaker_open
+                    else "scalar-path retry after "
+                    f"{type(error).__name__}: {error}"
+                )
+                return DegradedResult.fallback(metrics, detail)
+            except Exception as exc:
+                error = exc if error is None else error
+        return self._serve_stale_or_fail(
+            user,
+            policy,
+            k,
+            error
+            if error is not None
+            else RuntimeError("fast path short-circuited by open breaker"),
+        )
+
+    def _serve_stale_or_fail(
+        self,
+        user: UserId,
+        policy: PlacementPolicy,
+        k: int,
+        error: BaseException,
+    ) -> DegradedResult:
+        if self.degradation.allow_stale:
+            found = self._stale_lookup(user, policy, k)
+            if found is not None:
+                served_k, metrics = found
+                self._stale_served += 1
+                return DegradedResult.stale(
+                    metrics,
+                    f"stored degree-{served_k} answer served for a "
+                    f"degree-{k} query after {type(error).__name__}",
+                )
+        self._failed += 1
+        return DegradedResult.failed(error)
+
+    def _stale_lookup(
+        self, user: UserId, policy: PlacementPolicy, k: int
+    ) -> Optional[Tuple[int, UserMetrics]]:
+        """The best stored answer at or below degree ``k``.
+
+        Walks degrees downward: the incremental-selection prefix
+        property makes the degree-``k'`` result (``k' < k``) the exact
+        answer to the smaller-degree query — a genuinely *weaker*
+        placement served in place of one we cannot compute right now,
+        which is the DOSN notion of degraded service.  The scan reads
+        the result LRU without touching its counters, then the
+        content-addressed store.
+        """
+        for served_k in range(int(k), -1, -1):
+            metrics = self._results.peek(
+                (policy.cache_key(), user, served_k)
+            )
+            if metrics is None and self._store is not None:
+                payload = self._store.get_payload(
+                    point_query_key(
+                        self.dataset,
+                        self.model,
+                        policy,
+                        mode=self.mode,
+                        user=user,
+                        k=served_k,
+                        seed=self.seed,
+                    )
+                )
+                if payload is not None:
+                    metrics = metrics_from_payload(payload)
+            if metrics is not None:
+                return served_k, metrics
+        return None
+
+    def _try_prewarm(self, users) -> None:
+        """Prewarm, tolerating fast-path failure (it is an optimization:
+        skipping it only moves overlap work to the lazy scalar path)."""
+        try:
+            self._prewarm_overlaps(users)
+        except Exception:
+            if self.backend == NUMPY:
+                self.breaker.record_failure()
 
     def _prewarm_overlaps(self, users) -> None:
         """Seed owner-candidate overlaps for ``users`` in one kernel call."""
@@ -467,6 +752,11 @@ class QueryPlane:
                 "result_hits": self._result_hits,
                 "store_hits": self._store_hits,
                 "batched": self._batched,
+                "stale_served": self._stale_served,
+                "fallback_served": self._fallback_served,
+                "failed": self._failed,
+                "degraded_mode": self.degradation.mode,
+                "breaker": self.breaker.stats(),
                 "evaluators": self._evaluators.stats(),
                 "sequences": self._sequences.stats(),
                 "results": self._results.stats(),

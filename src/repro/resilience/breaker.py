@@ -1,0 +1,125 @@
+"""A circuit breaker for optional fast paths.
+
+The query plane's numpy backend is an *optimization*: every vectorised
+kernel is bit-identical to the python scalar path, so when the fast path
+starts failing (a broken numpy install, a poisoned kernel, an injected
+fault) the correct response is not to keep paying its failure latency on
+every request but to **open the circuit** and serve from the scalar
+fallback until the fast path proves healthy again.
+
+Standard three-state machine:
+
+* ``closed`` — requests flow through the guarded path; consecutive
+  failures are counted, and reaching ``failure_threshold`` opens the
+  circuit;
+* ``open`` — the guarded path is skipped entirely (``allow()`` is
+  ``False``; each skip counts as a ``short_circuit``) until
+  ``reset_after`` seconds pass;
+* ``half-open`` — after the cool-down one trial request is let through:
+  success closes the circuit, failure re-opens it and restarts the
+  cool-down.
+
+The clock is injectable for deterministic tests, and the breaker is
+thread-safe (the query plane serves under a multi-threaded batcher).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with an injectable clock."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_after: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after < 0:
+            raise ValueError(f"reset_after must be >= 0, got {reset_after}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after = float(reset_after)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._failures = 0
+        self._successes = 0
+        self._opens = 0
+        self._short_circuits = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        if (
+            self._state == OPEN
+            and self.clock() - self._opened_at >= self.reset_after
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the guarded path run right now?
+
+        ``half-open`` admits the caller (the trial request); a ``False``
+        answer is counted as a short circuit.
+        """
+        with self._lock:
+            if self._effective_state() == OPEN:
+                self._short_circuits += 1
+                return False
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._successes += 1
+            self._consecutive_failures = 0
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            state = self._effective_state()
+            if state == HALF_OPEN:
+                # The trial request failed: straight back to open.
+                self._state = OPEN
+                self._opened_at = self.clock()
+                self._opens += 1
+                return
+            self._consecutive_failures += 1
+            if (
+                state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self.clock()
+                self._opens += 1
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "failures": self._failures,
+                "successes": self._successes,
+                "opens": self._opens,
+                "short_circuits": self._short_circuits,
+            }

@@ -1,0 +1,84 @@
+"""Deadline budgets for the serving path.
+
+A point query behind a latency SLO cannot afford open-ended compute: a
+:class:`Deadline` is an absolute budget ("answer within 50 ms") checked
+between pipeline stages, so a request that cannot finish in time fails
+*fast* — and the degradation policy (:mod:`repro.resilience.degradation`)
+decides whether that failure becomes an exception or a stale answer.
+
+Deadlines are a *when* knob, never a *what* knob: checks sit between
+stages of the query plane, so an answer produced under any deadline is
+bit-identical to one produced with none — the deadline only decides
+whether an answer is produced at all.
+
+The clock is injectable (any zero-argument callable returning seconds)
+so tests can drive expiry deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["Deadline", "DeadlineExceeded"]
+
+
+class DeadlineExceeded(TimeoutError):
+    """Raised when a request's deadline budget is exhausted."""
+
+
+class Deadline:
+    """An absolute time budget with an injectable clock.
+
+    ``seconds`` is the budget from construction time; ``clock`` defaults
+    to :func:`time.monotonic` and exists so tests can expire a deadline
+    by advancing a fake clock rather than sleeping.
+    """
+
+    __slots__ = ("expires_at", "clock", "budget")
+
+    def __init__(
+        self,
+        seconds: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if seconds < 0:
+            raise ValueError(f"deadline must be >= 0 seconds, got {seconds}")
+        self.clock = clock
+        self.budget = float(seconds)
+        self.expires_at = clock() + float(seconds)
+
+    @classmethod
+    def after_ms(
+        cls,
+        milliseconds: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline ``milliseconds`` from now (the CLI's unit)."""
+        return cls(milliseconds / 1000.0, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        remaining = self.remaining()
+        if remaining <= 0:
+            suffix = f" during {what}" if what else ""
+            raise DeadlineExceeded(
+                f"deadline exceeded by {-remaining * 1000.0:.3f} ms"
+                f"{suffix} (budget was {self.budget * 1000.0:.3f} ms)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget={self.budget * 1000.0:.3f}ms, "
+            f"remaining={self.remaining() * 1000.0:.3f}ms)"
+        )

@@ -1,0 +1,279 @@
+"""On-disk registry and reaper for shared-memory segments.
+
+``multiprocessing.shared_memory`` blocks live in ``/dev/shm`` and
+survive their creating process: a SIGKILLed owner leaves the segment
+behind forever (the resource tracker that would have cleaned it up died
+with the process).  At the scales this repo targets a single leaked
+packing is hundreds of megabytes of locked RAM, so leaks must be
+*reapable* without restarting the host.
+
+:class:`SegmentRegistry` is a directory of one small JSON record per
+live segment, written by the owning process at creation and removed at
+clean close.  Because the record carries the owner's pid, any later
+process can :meth:`reap` the directory: records whose owner is dead are
+orphans — their segments are attached and unlinked, and the records
+dropped.  Records whose owner is alive are left strictly alone.
+
+:func:`default_registry` wires this into the runtime: the first call
+per process builds a per-user registry directory (override with
+``REPRO_SEGMENT_REGISTRY_DIR``), runs a **startup reap** of orphans left
+by previous SIGKILLed runs, and installs an **exit reaper** that unlinks
+any of this process's own segments still registered at interpreter exit
+(a SIGKILL skips it — which is exactly what the next startup reap
+covers).
+
+Registry operations are advisory and crash-tolerant: record writes are
+atomic (temp + ``os.replace``), concurrent reapers racing on the same
+orphan both succeed (the loser's unlink misses cleanly), and a reap
+failure on one record never blocks the rest.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "SegmentRecord",
+    "SegmentRegistry",
+    "ReapReport",
+    "default_registry",
+    "pid_alive",
+]
+
+#: Bumped on incompatible record schema changes; mismatched records are
+#: treated as unreadable (kept, never reaped — safety first).
+REGISTRY_FORMAT_VERSION = 1
+
+#: Environment override for the default registry directory.
+REGISTRY_DIR_ENV = "REPRO_SEGMENT_REGISTRY_DIR"
+
+
+def pid_alive(pid: int) -> bool:
+    """Is a process with this pid currently running?
+
+    Signal 0 probes existence without delivering anything.  A pid we
+    lack permission to signal exists, so it counts as alive; pid reuse
+    can make a dead owner look alive — the registry errs on the side of
+    never unlinking a segment whose recorded owner might still run.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One registered segment: who owns it and how big it is."""
+
+    segment: str
+    pid: int
+    nbytes: int
+
+
+@dataclass
+class ReapReport:
+    """What one :meth:`SegmentRegistry.reap` pass did."""
+
+    scanned: int = 0
+    reaped: List[str] = field(default_factory=list)
+    kept: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scanned": self.scanned,
+            "reaped": list(self.reaped),
+            "kept": list(self.kept),
+            "errors": list(self.errors),
+        }
+
+
+def _unlink_segment(name: str) -> bool:
+    """Unlink a shared-memory segment by name; ``False`` if already gone.
+
+    Attaching registers the segment with this process's resource
+    tracker (CPython < 3.13 registers on attach, not just create) and
+    ``unlink`` consumes that registration, so the tracker ledger stays
+    balanced.
+    """
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        seg.close()
+        seg.unlink()
+    except FileNotFoundError:
+        # A concurrent reaper got there first; drop our tracker entry.
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+        return False
+    return True
+
+
+class SegmentRegistry:
+    """A directory of pid-stamped records for live shm segments."""
+
+    def __init__(self, directory: Union[str, os.PathLike]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _record_path(self, segment: str) -> Path:
+        return self.directory / f"{segment}.json"
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def register(self, segment: str, nbytes: int) -> None:
+        """Record that this process owns ``segment`` (atomic write)."""
+        record = {
+            "format_version": REGISTRY_FORMAT_VERSION,
+            "segment": segment,
+            "pid": os.getpid(),
+            "nbytes": int(nbytes),
+        }
+        path = self._record_path(segment)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        try:
+            tmp.write_text(
+                json.dumps(record, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except OSError:
+            # The registry is advisory: a full or unwritable registry
+            # disk must never fail the segment creation it describes.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def unregister(self, segment: str) -> None:
+        """Drop the record after a clean close/unlink (idempotent)."""
+        try:
+            self._record_path(segment).unlink()
+        except OSError:
+            pass
+
+    def records(self) -> List[SegmentRecord]:
+        """All readable records, sorted by segment name."""
+        out = []
+        for path in sorted(self.directory.glob("*.json")):
+            record = self._load(path)
+            if record is not None:
+                out.append(record)
+        return out
+
+    def _load(self, path: Path) -> Optional[SegmentRecord]:
+        try:
+            blob = json.loads(path.read_text(encoding="utf-8"))
+            if blob.get("format_version") != REGISTRY_FORMAT_VERSION:
+                return None
+            return SegmentRecord(
+                segment=str(blob["segment"]),
+                pid=int(blob["pid"]),
+                nbytes=int(blob["nbytes"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def leaked(self) -> List[SegmentRecord]:
+        """Records whose segment still exists in ``/dev/shm``.
+
+        After a clean run this is empty; the chaos harness asserts
+        exactly that.
+        """
+        out = []
+        for record in self.records():
+            try:
+                seg = shared_memory.SharedMemory(name=record.segment)
+            except FileNotFoundError:
+                continue
+            seg.close()
+            try:
+                resource_tracker.unregister(seg._name, "shared_memory")
+            except Exception:
+                pass
+            out.append(record)
+        return out
+
+    # -- reaping ------------------------------------------------------------
+
+    def reap(self, *, include_pid: Optional[int] = None) -> ReapReport:
+        """Unlink every orphaned segment (dead owner) and drop its record.
+
+        ``include_pid`` additionally reaps records owned by that pid
+        even if alive — the exit reaper passes its own pid to release
+        whatever this process still holds at interpreter shutdown.
+        Live owners' segments are never touched.
+        """
+        report = ReapReport()
+        for record in self.records():
+            report.scanned += 1
+            owned = include_pid is not None and record.pid == include_pid
+            if not owned and pid_alive(record.pid):
+                report.kept.append(record.segment)
+                continue
+            try:
+                _unlink_segment(record.segment)
+                self.unregister(record.segment)
+                report.reaped.append(record.segment)
+            except Exception as exc:  # pragma: no cover - defensive
+                report.errors.append(f"{record.segment}: {exc!r}")
+        return report
+
+
+_default: Optional[SegmentRegistry] = None
+
+
+def default_registry() -> SegmentRegistry:
+    """The per-user process-wide registry, with startup + exit reapers.
+
+    First call per process: builds the registry under
+    ``$REPRO_SEGMENT_REGISTRY_DIR`` (default
+    ``<tmp>/repro-shm-registry-<uid>``), reaps orphans left behind by
+    dead owners, and installs an :mod:`atexit` hook that releases this
+    process's own leftover segments on clean interpreter exit.  Workers
+    forked by the pool exit through ``os._exit`` and never run the
+    hook — their leaks are exactly what the next startup reap collects.
+    """
+    global _default
+    if _default is None:
+        directory = os.environ.get(REGISTRY_DIR_ENV)
+        if directory is None:
+            uid = os.getuid() if hasattr(os, "getuid") else 0
+            directory = os.path.join(
+                tempfile.gettempdir(), f"repro-shm-registry-{uid}"
+            )
+        registry = SegmentRegistry(directory)
+        registry.reap()
+        atexit.register(_reap_own_at_exit, registry)
+        _default = registry
+    return _default
+
+
+def _reap_own_at_exit(registry: SegmentRegistry) -> None:
+    try:
+        registry.reap(include_pid=os.getpid())
+    except Exception:
+        # Interpreter shutdown: never turn cleanup into a crash.
+        pass
+
+
+def _reset_default_registry() -> None:
+    """Testing hook: forget the process singleton."""
+    global _default
+    _default = None

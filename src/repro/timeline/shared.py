@@ -21,20 +21,32 @@ Lifecycle: the creating process owns the block and must call
 processes close their mapping only.  Kernel results are bit-identical to
 the heap-backed packing — the arrays hold the very same float64/int64
 values, only the pages behind them differ.
+
+Against *unclean* exits — a SIGKILLed owner never runs :meth:`close`,
+leaving the block pinned in ``/dev/shm`` forever — every created block
+is registered in a :class:`~repro.resilience.SegmentRegistry` (the
+process default unless one is passed explicitly, ``registry=None`` to
+opt out).  The registry's startup/exit reapers unlink exactly those
+orphans; see :mod:`repro.resilience.segments`.
 """
 
 from __future__ import annotations
 
 from multiprocessing import resource_tracker, shared_memory
-from typing import Mapping, Tuple
+from typing import Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.social_graph import UserId
+from repro.resilience.segments import SegmentRegistry, default_registry
 from repro.timeline.intervals import IntervalSet
 from repro.timeline.packed import PackedSchedules
 
 __all__ = ["SharedPackedSchedules"]
+
+#: Distinguishes "no registry argument" (use the process default) from
+#: an explicit ``registry=None`` (no registration at all).
+_DEFAULT_REGISTRY = object()
 
 _INT = np.dtype(np.int64)
 _FLOAT = np.dtype(np.float64)
@@ -102,7 +114,7 @@ class SharedPackedSchedules(PackedSchedules):
     block name and the receiving process attaches instead of copying.
     """
 
-    __slots__ = ("shm", "owner", "_n_intervals", "_closed")
+    __slots__ = ("shm", "owner", "_n_intervals", "_closed", "_registry")
 
     def __init__(
         self,
@@ -111,17 +123,27 @@ class SharedPackedSchedules(PackedSchedules):
         n_intervals: int,
         *,
         owner: bool,
+        registry: Optional[SegmentRegistry] = None,
     ):
         self.shm = shm
         self.owner = owner
         self._n_intervals = n_intervals
         self._closed = False
+        self._registry = registry if owner else None
         users, offsets, starts, ends = _views(shm, n_users, n_intervals)
         super().__init__(users, starts, ends, offsets)
 
     @classmethod
-    def from_packed(cls, packed: PackedSchedules) -> "SharedPackedSchedules":
-        """Copy a heap-backed packing into a fresh shared block."""
+    def from_packed(
+        cls, packed: PackedSchedules, *, registry=_DEFAULT_REGISTRY
+    ) -> "SharedPackedSchedules":
+        """Copy a heap-backed packing into a fresh shared block.
+
+        The block is recorded in ``registry`` (default: the process
+        :func:`~repro.resilience.default_registry`, which also reaps
+        orphans of earlier SIGKILLed runs on first use; pass ``None``
+        to skip registration entirely).
+        """
         users = np.asarray(packed.users)
         if not np.issubdtype(users.dtype, np.integer):
             raise TypeError(
@@ -131,9 +153,12 @@ class SharedPackedSchedules(PackedSchedules):
         users = users.astype(np.int64, copy=False)
         n_users = len(users)
         n_intervals = len(packed.starts)
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(1, _total_bytes(n_users, n_intervals))
-        )
+        size = max(1, _total_bytes(n_users, n_intervals))
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        if registry is _DEFAULT_REGISTRY:
+            registry = default_registry()
+        if registry is not None:
+            registry.register(shm.name, size)
         for (name, offset, dtype, count), source in zip(
             _layout(n_users, n_intervals),
             (users, packed.offsets, packed.starts, packed.ends),
@@ -142,13 +167,18 @@ class SharedPackedSchedules(PackedSchedules):
                 (count,), dtype=dtype, buffer=shm.buf, offset=offset
             )
             view[:] = source
-        return cls(shm, n_users, n_intervals, owner=True)
+        return cls(shm, n_users, n_intervals, owner=True, registry=registry)
 
     @classmethod
     def from_schedules(
-        cls, schedules: Mapping[UserId, IntervalSet]
+        cls,
+        schedules: Mapping[UserId, IntervalSet],
+        *,
+        registry=_DEFAULT_REGISTRY,
     ) -> "SharedPackedSchedules":
-        return cls.from_packed(PackedSchedules.from_schedules(schedules))
+        return cls.from_packed(
+            PackedSchedules.from_schedules(schedules), registry=registry
+        )
 
     @property
     def shared_name(self) -> str:
@@ -168,6 +198,7 @@ class SharedPackedSchedules(PackedSchedules):
         if self._closed:
             return
         self._closed = True
+        name = self.shm.name
         empty_f = np.empty(0, dtype=np.float64)
         empty_i = np.zeros(1, dtype=np.int64)
         self.users = np.empty(0, dtype=np.int64)
@@ -195,6 +226,12 @@ class SharedPackedSchedules(PackedSchedules):
                 self.shm.unlink()
         except (OSError, BufferError):
             pass
+        finally:
+            # Clean close: the segment is gone (or going), so drop the
+            # registry record — whatever remains there after a run is,
+            # by construction, a leak for the reaper.
+            if self.owner and self._registry is not None:
+                self._registry.unregister(name)
 
     def __del__(self):
         try:

@@ -367,4 +367,104 @@ class TestStoreLayer:
             "stale": 0,
             "stores": 0,
             "disk_hits": 0,
+            "disk_errors": 0,
         }
+
+
+class TestDiskDegradation:
+    """A failing disk degrades the cache to memory-only — never crashes."""
+
+    def _series(self):
+        return tuple(_sweep()["random"])
+
+    def test_enospc_degrades_to_memory_only_with_one_warning(self, tmp_path):
+        from repro.parallel import FaultInjector
+
+        injector = FaultInjector.disk_faults(enospc=1.0, times=None)
+        cache = SweepCache(tmp_path, fault_injector=injector)
+        series = self._series()
+        with pytest.warns(RuntimeWarning, match="memory-only"):
+            cache.put_series("k1", series)
+        # Degraded, but the memory layer still serves.
+        assert cache.get_series("k1") == series
+        assert cache.stats.disk_errors == 1
+        assert not (tmp_path / "k1.npy").exists()
+        # Later writes skip the disk silently — no warning spam.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            cache.put_series("k2", series)
+        assert cache.get_series("k2") == series
+        assert cache.stats.disk_errors == 1  # counted once, then disabled
+
+    def test_real_oserror_degrades_the_same_way(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        series = self._series()
+        cache.put_series("warm", series)  # disk works so far
+        # Yank the directory out from under the cache.
+        import shutil
+
+        shutil.rmtree(tmp_path)
+        with pytest.warns(RuntimeWarning, match="disk layer disabled"):
+            cache.put_series("k", series)
+        assert cache.stats.disk_errors == 1
+        assert cache.get_series("k") == series
+
+    def test_injected_torn_write_reads_as_stale_miss(self, tmp_path):
+        from repro.parallel import FaultInjector
+
+        injector = FaultInjector.disk_faults(torn=1.0, times=1)
+        cache = SweepCache(tmp_path, fault_injector=injector)
+        series = self._series()
+        cache.put_series("k", series)
+        # The tear is silent (a crash mid-write doesn't raise first).
+        assert cache.stats.disk_errors == 0
+        reader = SweepCache(tmp_path)
+        # The tear hit the .npy before the stamp was written (array
+        # first, stamp second), so the entry reads as a clean miss.
+        assert reader.get_series("k") is None
+        assert reader.stats.misses == 1
+        # The retry (attempt 1, past times=1) lands a whole entry.
+        cache.put_series("k", series)
+        assert SweepCache(tmp_path).get_series("k") == series
+
+    def test_torn_payload_write_reads_as_stale_miss(self, tmp_path):
+        from repro.parallel import FaultInjector
+
+        injector = FaultInjector.disk_faults(torn=1.0, times=1)
+        cache = SweepCache(tmp_path, fault_injector=injector)
+        cache.put_payload("p", {"answer": 42})
+        reader = SweepCache(tmp_path)
+        assert reader.get_payload("p") is None
+        assert reader.stats.stale == 1
+        cache.put_payload("p", {"answer": 42})
+        assert SweepCache(tmp_path).get_payload("p") == {"answer": 42}
+
+    def test_slow_io_stalls_but_still_lands(self, tmp_path):
+        from time import perf_counter
+
+        from repro.parallel import FaultInjector
+
+        injector = FaultInjector.disk_faults(
+            slow=1.0, times=1, slow_io_seconds=0.05
+        )
+        cache = SweepCache(tmp_path, fault_injector=injector)
+        series = self._series()
+        start = perf_counter()
+        cache.put_series("k", series)
+        assert perf_counter() - start >= 0.05
+        assert SweepCache(tmp_path).get_series("k") == series
+        assert cache.stats.disk_errors == 0
+
+    def test_sweep_survives_a_dead_disk(self, tmp_path):
+        # End to end: a sweep over a cache whose disk always fails
+        # completes with correct results.
+        from repro.parallel import FaultInjector
+
+        injector = FaultInjector.disk_faults(enospc=1.0, times=None)
+        cache = SweepCache(tmp_path, fault_injector=injector)
+        with pytest.warns(RuntimeWarning):
+            degraded = _sweep(cache=cache)
+        assert degraded == _sweep()
+        assert cache.stats.disk_errors >= 1

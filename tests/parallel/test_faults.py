@@ -5,9 +5,18 @@ import pickle
 import pytest
 
 from repro.parallel.faults import (
+    CHUNK_KINDS,
     CRASH,
+    DISK_KINDS,
+    ENOSPC,
     ERROR,
+    FAULT_KINDS,
     HANG,
+    POISON_QUERY,
+    QUERY_KINDS,
+    SHM_LEAK,
+    SLOW_IO,
+    TORN_WRITE,
     FaultInjector,
     FaultRule,
     InjectedFault,
@@ -120,3 +129,107 @@ class TestFaultInjector:
         clone = pickle.loads(pickle.dumps(injector))
         assert clone == injector
         assert clone.fault_for([1], 0) == CRASH
+
+
+class TestFaultSites:
+    """Site-filtered dispatch: each injection site sees only its kinds."""
+
+    def test_kind_taxonomy_partitions_fault_kinds(self):
+        sites = CHUNK_KINDS + DISK_KINDS + QUERY_KINDS
+        assert sorted(sites) == sorted(FAULT_KINDS)
+        assert len(set(sites)) == len(sites)  # disjoint
+
+    def test_fault_for_filters_by_site(self):
+        injector = FaultInjector(
+            rules=(
+                FaultRule(TORN_WRITE, times=None),
+                FaultRule(ERROR, times=None),
+            )
+        )
+        # None = back-compat: every rule considered, first match wins.
+        assert injector.fault_for([1], 0) == TORN_WRITE
+        assert injector.fault_for([1], 0, CHUNK_KINDS) == ERROR
+        assert injector.fault_for([1], 0, DISK_KINDS) == TORN_WRITE
+        assert injector.fault_for([1], 0, QUERY_KINDS) is None
+
+    def test_chunk_apply_ignores_disk_and_query_rules(self):
+        injector = FaultInjector(
+            rules=(
+                FaultRule(TORN_WRITE, times=None),
+                FaultRule(POISON_QUERY, times=None),
+            )
+        )
+        injector.apply([1], 0)  # must not raise: wrong site
+
+    def test_disk_fault_matches_on_cache_key(self):
+        injector = FaultInjector(
+            rules=(FaultRule(ENOSPC, items=frozenset({"deadbeef"}), times=1),)
+        )
+        assert injector.disk_fault("deadbeef", 0) == ENOSPC
+        assert injector.disk_fault("deadbeef", 1) is None  # times=1
+        assert injector.disk_fault("cafe", 0) is None
+
+    def test_raise_enospc_is_a_real_oserror(self):
+        import errno
+
+        with pytest.raises(OSError) as info:
+            FaultInjector().raise_enospc("/tmp/x")
+        assert info.value.errno == errno.ENOSPC
+
+
+class TestPoisonQueries:
+    def test_times_one_poisons_only_the_primary_attempt(self):
+        injector = FaultInjector.poison_queries([7], times=1)
+        with pytest.raises(InjectedFault):
+            injector.apply_query(7, 0)
+        injector.apply_query(7, 1)  # fallback retry recovers
+        injector.apply_query(8, 0)  # other users untouched
+
+    def test_times_none_poisons_every_attempt(self):
+        injector = FaultInjector.poison_queries([7])
+        for attempt in range(3):
+            with pytest.raises(InjectedFault):
+                injector.apply_query(7, attempt)
+
+    def test_poison_query_never_fires_at_the_chunk_site(self):
+        injector = FaultInjector.poison_queries([7])
+        injector.apply([7], 0)  # chunk site: inert
+        assert injector.disk_fault("7", 0) is None
+
+
+class TestDiskFaults:
+    def test_constructor_builds_only_requested_rules(self):
+        injector = FaultInjector.disk_faults(torn=1.0, slow=1.0)
+        kinds = {rule.kind for rule in injector.rules}
+        assert kinds == {TORN_WRITE, SLOW_IO}
+        assert injector.disk_fault("k", 0) in (TORN_WRITE, SLOW_IO)
+
+    def test_plan_is_deterministic_in_seed(self):
+        a = FaultInjector.disk_faults(torn=0.4, enospc=0.4, seed=2)
+        b = FaultInjector.disk_faults(torn=0.4, enospc=0.4, seed=2)
+        keys = [f"key-{i}" for i in range(64)]
+        plan_a = [a.disk_fault(k, 0) for k in keys]
+        assert plan_a == [b.disk_fault(k, 0) for k in keys]
+        assert any(plan_a) and None in plan_a
+
+    def test_slow_io_seconds_rides_the_injector(self):
+        injector = FaultInjector.disk_faults(slow=1.0, slow_io_seconds=0.2)
+        assert injector.slow_io_seconds == 0.2
+
+
+class TestShmLeakRule:
+    def test_shm_leak_is_a_chunk_kind(self):
+        assert SHM_LEAK in CHUNK_KINDS
+        rule = FaultRule(SHM_LEAK, times=1)
+        assert rule.matches([1], attempt=0, seed=0)
+
+    def test_serial_path_never_leaks(self, tmp_path):
+        # in_worker=False: a leak would be charged to the supervisor.
+        injector = FaultInjector(
+            rules=(FaultRule(SHM_LEAK, times=None),),
+            registry_dir=str(tmp_path),
+        )
+        injector.apply([1], 0, in_worker=False)
+        from repro.resilience import SegmentRegistry
+
+        assert SegmentRegistry(tmp_path).records() == []

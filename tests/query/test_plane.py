@@ -314,6 +314,11 @@ class TestPlaneState:
             "result_hits",
             "store_hits",
             "batched",
+            "stale_served",
+            "fallback_served",
+            "failed",
+            "degraded_mode",
+            "breaker",
             "evaluators",
             "sequences",
             "results",

@@ -1,0 +1,202 @@
+"""Unit behaviour of the resilience primitives.
+
+Deadlines and breakers both take injectable clocks, so every timing
+property here is driven deterministically — no sleeps, no flakes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.resilience import (
+    CLOSED,
+    FALLBACK,
+    HALF_OPEN,
+    OPEN,
+    REFUSE,
+    STALE,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    DegradationPolicy,
+    DegradedResult,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_remaining_counts_down_and_expires(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(1.0)
+        assert not deadline.expired
+        clock.advance(0.4)
+        assert deadline.remaining() == pytest.approx(0.6)
+        deadline.check("mid-flight")  # still within budget
+        clock.advance(0.6)
+        assert deadline.expired
+
+    def test_check_raises_with_stage_and_budget(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(50.0, clock=clock)
+        clock.advance(0.075)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("replica selection")
+        message = str(excinfo.value)
+        assert "replica selection" in message
+        assert "25.000 ms" in message  # overshoot
+        assert "50.000 ms" in message  # budget
+
+    def test_deadline_exceeded_is_a_timeout(self):
+        # Callers catching TimeoutError must see deadline misses.
+        assert issubclass(DeadlineExceeded, TimeoutError)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-0.1)
+
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline(0.0, clock=FakeClock())
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, reset_after=30.0):
+        return CircuitBreaker(
+            failure_threshold=threshold,
+            reset_after=reset_after,
+            clock=clock,
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.stats()["short_circuits"] == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = self._breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_trial_success_closes(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, threshold=1, reset_after=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the trial request
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_trial_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, threshold=1, reset_after=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.stats()["opens"] == 2
+        # The cool-down restarted from the re-open.
+        clock.advance(9.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_after=-1.0)
+
+
+class TestDegradationPolicy:
+    def test_mode_permissions_are_ordered(self):
+        refuse = DegradationPolicy(REFUSE)
+        stale = DegradationPolicy(STALE)
+        fallback = DegradationPolicy(FALLBACK)
+        assert not refuse.allow_stale and not refuse.allow_fallback
+        assert stale.allow_stale and not stale.allow_fallback
+        assert fallback.allow_stale and fallback.allow_fallback
+
+    def test_default_is_refuse(self):
+        assert DegradationPolicy().mode == REFUSE
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy("yolo")
+
+
+class TestDegradedResult:
+    def test_fresh_is_unflagged(self):
+        result = DegradedResult.fresh(42)
+        assert result.ok
+        assert not result.degraded
+        assert result.reason is None
+        assert result.unwrap() == 42
+
+    def test_stale_and_fallback_carry_provenance(self):
+        stale = DegradedResult.stale(1, "stored degree-2 answer")
+        assert stale.degraded and stale.reason == STALE
+        assert "degree-2" in stale.detail
+        fallback = DegradedResult.fallback(2, "scalar retry")
+        assert fallback.degraded and fallback.reason == FALLBACK
+        assert stale.unwrap() == 1 and fallback.unwrap() == 2
+
+    def test_failed_unwrap_reraises_the_original(self):
+        error = ValueError("boom")
+        result = DegradedResult.failed(error)
+        assert not result.ok
+        assert result.degraded and result.reason == "error"
+        with pytest.raises(ValueError, match="boom"):
+            result.unwrap()
+
+    def test_results_compare_ignoring_error_identity(self):
+        # Two failures with distinct exception objects of the same shape
+        # still compare equal (error is compare=False) — what matters
+        # for identity assertions is the served value and flags.
+        a = DegradedResult.failed(ValueError("x"))
+        b = DegradedResult.failed(ValueError("y"))
+        assert a == b
+        assert DegradedResult.fresh(1) != DegradedResult.stale(1)
+
+
+class TestInjectorPicklability:
+    def test_fault_injector_with_registry_dir_pickles(self, tmp_path):
+        # The injector ships to pool workers at fork time; the registry
+        # reference is a path string precisely so this round trip works.
+        from repro.parallel import FaultInjector
+
+        injector = FaultInjector.poison_queries([3], times=1, seed=2)
+        injector = FaultInjector(
+            rules=injector.rules,
+            seed=2,
+            registry_dir=str(tmp_path),
+        )
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone == injector
+        assert clone.registry_dir == str(tmp_path)

@@ -1,0 +1,268 @@
+"""The shared-memory segment registry and its reaper.
+
+The property under test: any segment a dead process left behind is
+reapable by a later process from the on-disk registry alone, and live
+owners' segments are never touched.  The SIGKILL tests spawn real
+subprocesses — the registry exists precisely for owners that never got
+to run cleanup.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.resilience import SegmentRegistry, pid_alive
+from repro.resilience.segments import (
+    REGISTRY_FORMAT_VERSION,
+    default_registry,
+    _reset_default_registry,
+)
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+)
+
+
+def _segment_exists(name):
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+    return True
+
+
+class TestRegistryBookkeeping:
+    def test_register_records_and_unregister_drops(self, tmp_path):
+        registry = SegmentRegistry(tmp_path)
+        registry.register("repro_test_seg", 128)
+        records = registry.records()
+        assert len(records) == 1
+        assert records[0].segment == "repro_test_seg"
+        assert records[0].pid == os.getpid()
+        assert records[0].nbytes == 128
+        registry.unregister("repro_test_seg")
+        assert registry.records() == []
+        registry.unregister("repro_test_seg")  # idempotent
+
+    def test_unreadable_and_mismatched_records_are_skipped(self, tmp_path):
+        registry = SegmentRegistry(tmp_path)
+        (tmp_path / "torn.json").write_text("{half a rec", encoding="utf-8")
+        (tmp_path / "future.json").write_text(
+            json.dumps(
+                {
+                    "format_version": REGISTRY_FORMAT_VERSION + 1,
+                    "segment": "x",
+                    "pid": 1,
+                    "nbytes": 1,
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert registry.records() == []
+        report = registry.reap()
+        assert report.scanned == 0
+
+    def test_live_owner_records_are_kept(self, tmp_path):
+        registry = SegmentRegistry(tmp_path)
+        seg = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            registry.register(seg.name, 64)
+            report = registry.reap()
+            assert report.kept == [seg.name]
+            assert report.reaped == []
+            assert _segment_exists(seg.name)
+        finally:
+            seg.close()
+            seg.unlink()
+            registry.unregister(seg.name)
+
+    def test_include_pid_reaps_own_live_records(self, tmp_path):
+        registry = SegmentRegistry(tmp_path)
+        seg = shared_memory.SharedMemory(create=True, size=64)
+        registry.register(seg.name, 64)
+        seg.close()
+        report = registry.reap(include_pid=os.getpid())
+        assert report.reaped == [seg.name]
+        assert not _segment_exists(seg.name)
+        assert registry.records() == []
+
+    def test_pid_alive(self):
+        assert pid_alive(os.getpid())
+        assert not pid_alive(-1)
+        assert not pid_alive(0)
+
+
+_LEAKER_SCRIPT = """
+import os, sys
+from multiprocessing import resource_tracker, shared_memory
+from repro.resilience import SegmentRegistry
+
+registry = SegmentRegistry(sys.argv[1])
+seg = shared_memory.SharedMemory(create=True, size=256)
+registry.register(seg.name, 256)
+resource_tracker.unregister(seg._name, "shared_memory")
+seg.close()
+print(seg.name, flush=True)
+# Wait to be SIGKILLed: no atexit, no cleanup, the true leak scenario.
+import time
+time.sleep(120)
+"""
+
+
+def _spawn_leaker(registry_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _LEAKER_SCRIPT, str(registry_dir)],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    name = proc.stdout.readline().strip()
+    assert name, "leaker subprocess failed to create a segment"
+    return proc, name
+
+
+class TestReapAfterSigkill:
+    def test_sigkilled_owner_segment_is_reaped(self, tmp_path):
+        registry = SegmentRegistry(tmp_path)
+        proc, name = _spawn_leaker(tmp_path)
+        try:
+            assert _segment_exists(name)
+            # While the owner lives its segment is untouchable.
+            report = registry.reap()
+            assert name in report.kept
+            assert _segment_exists(name)
+        finally:
+            proc.kill()
+            proc.wait()
+        # SIGKILL: no atexit ran, the segment is orphaned on disk.
+        assert _segment_exists(name)
+        assert registry.leaked(), "registry should still see the leak"
+        report = registry.reap()
+        assert name in report.reaped
+        assert not _segment_exists(name)
+        assert registry.leaked() == []
+        assert registry.records() == []
+
+    def test_concurrent_reap_of_the_same_orphan_is_clean(self, tmp_path):
+        registry_a = SegmentRegistry(tmp_path)
+        registry_b = SegmentRegistry(tmp_path)
+        proc, name = _spawn_leaker(tmp_path)
+        proc.kill()
+        proc.wait()
+        first = registry_a.reap()
+        second = registry_b.reap()
+        assert name in first.reaped
+        # The loser sees nothing left to do — and no error.
+        assert second.errors == []
+        assert not _segment_exists(name)
+
+
+class TestDefaultRegistry:
+    def test_env_override_and_startup_reap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SEGMENT_REGISTRY_DIR", str(tmp_path))
+        _reset_default_registry()
+        try:
+            proc, name = _spawn_leaker(tmp_path)
+            proc.kill()
+            proc.wait()
+            assert _segment_exists(name)
+            registry = default_registry()  # first call runs startup reap
+            assert registry.directory == tmp_path
+            assert not _segment_exists(name)
+        finally:
+            _reset_default_registry()
+
+    def test_shared_schedules_register_and_unregister(self, tmp_path):
+        # SharedPackedSchedules registers its segment on create and
+        # drops the record at clean close.
+        pytest.importorskip("numpy")
+        from repro.datasets import synthetic_facebook
+        from repro.onlinetime import SporadicModel, compute_schedules
+        from repro.timeline.packed import PackedSchedules
+        from repro.timeline.shared import SharedPackedSchedules
+
+        dataset = synthetic_facebook(60, seed=3)
+        schedules = compute_schedules(dataset, SporadicModel(), seed=0)
+        packed = PackedSchedules.from_schedules(schedules)
+        registry = SegmentRegistry(tmp_path)
+        shared = SharedPackedSchedules.from_packed(
+            packed, registry=registry
+        )
+        name = shared.shm.name
+        records = registry.records()
+        assert [r.segment for r in records] == [name]
+        assert records[0].pid == os.getpid()
+        shared.close()
+        assert registry.records() == []
+        assert not _segment_exists(name)
+
+
+class TestWorkerLeakFault:
+    def test_shm_leak_fault_is_reaped_to_zero(self, tmp_path):
+        """A worker shm-leak fault leaves exactly the SIGKILL state; a
+        registry reap recovers every leaked segment."""
+        from repro.core import make_policy
+        from repro.datasets import synthetic_facebook
+        from repro.onlinetime import SporadicModel, compute_schedules
+        from repro.parallel import (
+            FaultInjector,
+            FaultRule,
+            ParallelExecutor,
+            SHM_LEAK,
+            SweepPayload,
+            evaluate_users_chunk,
+        )
+
+        dataset = synthetic_facebook(80, seed=3)
+        schedules = compute_schedules(dataset, SporadicModel(), seed=0)
+        payload = SweepPayload(
+            dataset=dataset,
+            schedules=schedules,
+            policies=(make_policy("random"),),
+            mode="conrep",
+            degrees=(1,),
+            max_degree=1,
+            seed=0,
+        )
+        users = sorted(dataset.graph.users())[:6]
+        injector = FaultInjector(
+            rules=(FaultRule(SHM_LEAK, times=1),),
+            registry_dir=str(tmp_path),
+        )
+        with ParallelExecutor(jobs=2, fault_injector=injector) as executor:
+            faulted = executor.map_shared(
+                evaluate_users_chunk, payload, users
+            )
+        with ParallelExecutor(jobs=1) as executor:
+            clean = executor.map_shared(
+                evaluate_users_chunk, payload, users
+            )
+        # The leak never corrupts the work itself.
+        assert faulted == clean
+        registry = SegmentRegistry(tmp_path)
+        leaked = registry.leaked()
+        assert leaked, "the shm-leak fault should have leaked segments"
+        # Workers are dead (pool closed): everything must reap to zero.
+        deadline = time.time() + 10.0
+        while time.time() < deadline:
+            registry.reap()
+            if not registry.leaked():
+                break
+            time.sleep(0.1)
+        assert registry.leaked() == []
+        assert registry.records() == []

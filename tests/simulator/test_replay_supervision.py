@@ -1,0 +1,115 @@
+"""Supervised sharded replay: hung/crashed shards recover bit-identically.
+
+Satellite of the degraded-mode PR: ``replay_trace`` dispatches shard
+indices through the supervised :class:`ParallelExecutor`, so a shard
+whose worker hangs past ``chunk_timeout`` (or dies outright) is killed,
+the pool rebuilt, and the shard replayed on a fresh worker — and the
+merged :class:`SimulationStats` must equal an unfaulted serial replay
+field for field.  Recovery changes wall-clock, never floats.
+"""
+
+import functools
+
+import pytest
+
+from repro.core import CONREP, make_policy, placement_sequences, select_cohort
+from repro.datasets import synthetic_facebook
+from repro.onlinetime import SporadicModel, compute_schedules
+from repro.parallel import (
+    FaultInjector,
+    ParallelExecutor,
+    RetryPolicy,
+    fork_available,
+)
+from repro.simulator import ReplayConfig, replay_trace
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="needs the fork start method"
+)
+
+#: No real sleeping between retries.
+FAST = RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0, jitter=0.0)
+
+
+@functools.lru_cache(maxsize=1)
+def _scenario():
+    ds = synthetic_facebook(200, seed=13)
+    model = SporadicModel()
+    schedules = compute_schedules(ds, model, seed=13)
+    users = select_cohort(ds, 6, max_users=12)
+    if not users:
+        users = sorted(ds.graph.users())[:12]
+    placements = placement_sequences(
+        ds,
+        schedules,
+        users,
+        make_policy("maxav"),
+        mode=CONREP,
+        max_degree=3,
+        seed=13,
+    )
+    return ds, schedules, tuple(users), placements
+
+
+@functools.lru_cache(maxsize=1)
+def _clean_outcome():
+    """The serial, unfaulted reference replay."""
+    ds, schedules, users, placements = _scenario()
+    return replay_trace(
+        ds,
+        schedules,
+        placements,
+        config=ReplayConfig(days=2),
+        tracked_profiles=users,
+        shards=1,
+    )
+
+
+def _faulted_replay(injector, *, chunk_timeout, retry=FAST, shards=4):
+    ds, schedules, users, placements = _scenario()
+    with ParallelExecutor(
+        jobs=2,
+        chunk_size=1,
+        retry=retry,
+        chunk_timeout=chunk_timeout,
+        fault_injector=injector,
+    ) as executor:
+        outcome = replay_trace(
+            ds,
+            schedules,
+            placements,
+            config=ReplayConfig(days=2),
+            tracked_profiles=users,
+            shards=shards,
+            executor=executor,
+        )
+    return outcome, executor
+
+
+@needs_fork
+class TestChunkTimeoutRecovery:
+    def test_hung_shard_is_killed_and_replayed_bit_identically(self):
+        # Shard index 1 hangs far past the chunk deadline on its first
+        # dispatch; the supervisor kills the worker, rebuilds the pool
+        # and replays the shard.  The merged stats must equal the
+        # serial, unfaulted run exactly.
+        injector = FaultInjector.once(hang={1}, hang_seconds=30)
+        outcome, executor = _faulted_replay(injector, chunk_timeout=1.0)
+        clean = _clean_outcome()
+        assert outcome.stats.to_dict() == clean.stats.to_dict()
+        assert executor.pool_stats.timeouts >= 1
+        assert executor.pool_stats.rebuilds >= 1
+
+    def test_crashed_shard_worker_recovers_bit_identically(self):
+        injector = FaultInjector.once(crash={2})
+        outcome, executor = _faulted_replay(injector, chunk_timeout=30.0)
+        clean = _clean_outcome()
+        assert outcome.stats.to_dict() == clean.stats.to_dict()
+        assert executor.pool_stats.rebuilds >= 1
+
+    def test_unfaulted_sharded_replay_matches_serial(self):
+        # Control: the same executor knobs without faults — sharding
+        # through the supervised pool is already bit-identical.
+        outcome, _ = _faulted_replay(FaultInjector(), chunk_timeout=30.0)
+        clean = _clean_outcome()
+        assert outcome.stats.to_dict() == clean.stats.to_dict()
